@@ -1,0 +1,72 @@
+"""Ablation: locality-preserving vs uniform policy under skewed segmentation.
+
+The design tension of §3.2: locality minimizes transfer cost but inherits
+the table's skew, producing straggler partitions that slow every subsequent
+iteration; the uniform policy pays shuffling for balanced partitions.  This
+benchmark creates a deliberately skewed table and measures a K-means
+iteration after each policy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import hpdkmeans
+from repro.dr import start_session
+from repro.perfmodel import model_kmeans_iteration_dr
+from repro.transfer import db2darray
+from repro.vertica import SkewedSegmentation, VerticaCluster
+
+ROWS = 48_000
+FEATURES = 12
+K = 16
+SKEW = (6.0, 1.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def skewed_cluster():
+    rng = np.random.default_rng(30)
+    columns = {"k": rng.integers(0, 1_000_000, ROWS)}
+    names = []
+    for j in range(FEATURES):
+        names.append(f"c{j}")
+        columns[f"c{j}"] = rng.normal(size=ROWS)
+    cluster = VerticaCluster(node_count=3)
+    cluster.create_table_like("skewed", columns, SkewedSegmentation(SKEW))
+    cluster.bulk_load("skewed", columns)
+    return cluster, names
+
+
+def iteration_after_load(cluster, names, policy):
+    with start_session(node_count=3, instances_per_node=1) as session:
+        data = db2darray(cluster, "skewed", names, session, policy=policy,
+                         chunk_rows=1024)
+        init = np.asarray(data.get_partition(0))[:K].copy()
+        model = hpdkmeans(data, K, initial_centers=init,
+                          max_iterations=1, tolerance=0.0)
+        rows = [shape[0] for shape in data.partition_shapes()]
+    return model, rows
+
+
+@pytest.mark.parametrize("policy", ["locality", "uniform"])
+def test_ablation_policy_iteration(benchmark, skewed_cluster, policy):
+    cluster, names = skewed_cluster
+    model, rows = benchmark.pedantic(
+        lambda: iteration_after_load(cluster, names, policy),
+        rounds=2, iterations=1,
+    )
+    if policy == "locality":
+        assert max(rows) > 3 * min(rows), "locality must inherit the skew"
+    else:
+        assert max(rows) < 1.3 * min(rows), "uniform must balance the skew"
+    assert model.n_observations == ROWS
+
+
+def test_ablation_straggler_cost_at_paper_scale():
+    """The modelled iteration cost of a skew-3 partitioning vs balanced."""
+    balanced = model_kmeans_iteration_dr(
+        2.4e8, 100, 1000, cores=24, nodes=4).per_iteration_seconds
+    skewed = model_kmeans_iteration_dr(
+        2.4e8, 100, 1000, cores=24, nodes=4,
+        skew=[3, 1, 1, 1]).per_iteration_seconds
+    # The straggler holds 3/6 of the data instead of 1/4: ~2x slower.
+    assert skewed / balanced == pytest.approx(2.0, rel=0.1)

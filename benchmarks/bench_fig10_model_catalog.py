@@ -1,0 +1,58 @@
+"""Figure 10: the ``R_Models`` catalog — deployment and catalog queries.
+
+Benchmarks the deploy -> catalog-query path and reproduces the figure's
+table contents (two models, different owners/types).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import hpdglm, hpdkmeans
+from repro.deploy import deploy_model
+from repro.dr import start_session
+from repro.vertica import VerticaCluster
+
+
+@pytest.fixture(scope="module")
+def trained_models():
+    with start_session(node_count=2, instances_per_node=1) as session:
+        rng = np.random.default_rng(10)
+        data = session.darray(npartitions=2)
+        data.fill_from(rng.normal(size=(600, 4)))
+        km = hpdkmeans(data, k=3, seed=0, max_iterations=5)
+        responses = session.darray(
+            npartitions=2, worker_assignment=[data.worker_of(i) for i in range(2)])
+        responses.fill_from(rng.normal(size=(600, 1)))
+        glm = hpdglm(responses, data)
+    return km, glm
+
+
+def test_fig10_deploy_model(benchmark, trained_models):
+    km, glm = trained_models
+    counter = [0]
+
+    def run():
+        cluster = VerticaCluster(node_count=2)
+        deploy_model(cluster, km, "model1", owner="X", description="clustering")
+        deploy_model(cluster, glm, "model2", owner="Y", description="forecasting")
+        counter[0] += 1
+        return cluster
+
+    cluster = benchmark(run)
+    rows = cluster.sql(
+        "SELECT model, owner, type, description FROM R_Models ORDER BY model"
+    ).rows()
+    assert rows[0][:2] == ("model1", "X")
+    assert rows[0][2] == "kmeans"
+    assert rows[1][:2] == ("model2", "Y")
+    assert rows[1][2] == "glm"
+
+
+def test_fig10_catalog_query(benchmark, trained_models):
+    km, glm = trained_models
+    cluster = VerticaCluster(node_count=2)
+    deploy_model(cluster, km, "model1", owner="X", description="clustering")
+    deploy_model(cluster, glm, "model2", owner="Y", description="forecasting")
+    result = benchmark(lambda: cluster.sql("SELECT * FROM R_Models"))
+    assert len(result) == 2
+    assert result.column_names == ["model", "owner", "type", "size", "description"]

@@ -1,0 +1,58 @@
+"""Figure 13: ODBC vs VFT on a larger cluster (12-node shape, up to 400 GB).
+
+Real layer: a 6-node functional cluster loading a wider table both ways.
+Paper-scale layer: the 100-400 GB series on 12 nodes with 288 connections.
+"""
+
+import pytest
+
+from benchmarks.conftest import build_numeric_table
+from repro.dr import start_session
+from repro.perfmodel import model_vft_transfer, simulate_odbc_transfer
+from repro.transfer import db2darray, load_via_parallel_odbc
+
+ROWS = 60_000
+FEATURES = 6
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster, names = build_numeric_table(6, ROWS, FEATURES, seed=13)
+    session = start_session(node_count=6, instances_per_node=2)
+    yield cluster, names, session
+    session.shutdown()
+
+
+def test_fig13_odbc_load(benchmark, setup):
+    cluster, names, session = setup
+    result = benchmark(
+        lambda: load_via_parallel_odbc(cluster, "bench", names, session,
+                                       connections=12)
+    )
+    assert result.nrow == ROWS
+
+
+def test_fig13_vft_load(benchmark, setup):
+    cluster, names, session = setup
+    result = benchmark(lambda: db2darray(cluster, "bench", names, session))
+    assert result.nrow == ROWS
+    benchmark.extra_info.update({
+        f"paper_{gb}gb_{kind}_s": round(seconds, 1)
+        for gb in (100, 200, 300, 400)
+        for kind, seconds in (
+            ("odbc288", simulate_odbc_transfer(gb, 12, 288).total_seconds),
+            ("vft", model_vft_transfer(gb, 12, 24).total_seconds),
+        )
+    })
+
+
+def test_fig13_shape_400gb_under_10_minutes():
+    assert model_vft_transfer(400, 12, 24).minutes < 10
+    # and ODBC stays near the hour mark even with 288 connections
+    assert simulate_odbc_transfer(400, 12, 288).minutes > 45
+
+
+def test_fig13_shape_vft_scales_linearly_in_size():
+    t100 = model_vft_transfer(100, 12, 24).total_seconds
+    t400 = model_vft_transfer(400, 12, 24).total_seconds
+    assert t400 / t100 == pytest.approx(4.0, rel=0.2)

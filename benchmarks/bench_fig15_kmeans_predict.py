@@ -1,0 +1,62 @@
+"""Figure 15: scalability of in-database K-means prediction.
+
+Real layer: ``kmeansPredict`` over tables of growing size; throughput must
+be near-linear in rows.  Paper-scale layer: 10M-1B rows on 5 nodes.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import build_numeric_table
+from repro.algorithms import hpdkmeans
+from repro.deploy import deploy_model
+from repro.dr import start_session
+from repro.perfmodel import model_in_db_prediction
+from repro.workloads import make_blobs
+
+FEATURES = 6
+
+
+def make_scoring_setup(rows: int):
+    cluster, names = build_numeric_table(3, rows, FEATURES, seed=15)
+    dataset = make_blobs(3000, FEATURES, 8, seed=15)
+    with start_session(node_count=3, instances_per_node=2) as session:
+        data = session.darray(npartitions=3)
+        data.fill_from(dataset.points)
+        model = hpdkmeans(data, k=8, seed=0, max_iterations=10)
+    deploy_model(cluster, model, "km")
+    query = (
+        f"SELECT kmeansPredict({', '.join(names)} USING PARAMETERS model='km') "
+        "OVER (PARTITION BEST) FROM bench"
+    )
+    return cluster, query
+
+
+@pytest.mark.parametrize("rows", [20_000, 80_000])
+def test_fig15_kmeans_predict(benchmark, rows):
+    cluster, query = make_scoring_setup(rows)
+    result = benchmark.pedantic(lambda: cluster.sql(query), rounds=3, iterations=1)
+    assert len(result) == rows
+    assert set(np.unique(result.column("cluster"))) <= set(range(8))
+    if rows == 80_000:
+        benchmark.extra_info.update({
+            f"paper_{int(r):d}rows_s": round(
+                model_in_db_prediction(r, "kmeans", 5).total_seconds, 1)
+            for r in (1e7, 1e8, 1e9)
+        })
+
+
+def test_fig15_shape_near_linear_scaling():
+    import time
+
+    times = {}
+    for rows in (20_000, 80_000):
+        cluster, query = make_scoring_setup(rows)
+        cluster.sql(query)  # warm the model cache
+        start = time.perf_counter()
+        cluster.sql(query)
+        times[rows] = time.perf_counter() - start
+    ratio = times[80_000] / times[20_000]
+    assert ratio < 8, f"4x rows should cost ~4x, got {ratio:.1f}x"
+    # paper-scale: 1B rows in 318 s on 5 nodes
+    assert model_in_db_prediction(1e9, "kmeans", 5).total_seconds < 400

@@ -1,0 +1,75 @@
+"""Figure 17: K-means per-iteration time, stock R vs Distributed R, by cores.
+
+Real layer: one Lloyd iteration sequentially (r_kmeans) vs partition-parallel
+(hpdkmeans on a multi-instance session) on the same data and initial centers
+— both must compute the *same* iteration, so inertia agrees exactly.
+Paper-scale layer: the 1-24 core series (R flat at ~35 min, DR scaling to
+<4 min, plateau past 12 physical cores).
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import hpdkmeans
+from repro.dr import start_session
+from repro.perfmodel import model_kmeans_iteration_dr, model_kmeans_iteration_r
+from repro.rbase import r_kmeans
+from repro.workloads import make_blobs
+
+ROWS = 60_000
+FEATURES = 20
+K = 50
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_blobs(ROWS, FEATURES, K, seed=17)
+
+
+@pytest.fixture(scope="module")
+def init(dataset):
+    rng = np.random.default_rng(0)
+    return dataset.points[rng.choice(ROWS, K, replace=False)].copy()
+
+
+def test_fig17_r_single_iteration(benchmark, dataset, init):
+    model = benchmark.pedantic(
+        lambda: r_kmeans(dataset.points, K, initial_centers=init,
+                         max_iterations=1, tolerance=0.0),
+        rounds=3, iterations=1,
+    )
+    assert model.iterations == 1
+    benchmark.extra_info["paper_r_iteration_s"] = round(
+        model_kmeans_iteration_r(1e6, 100, 1000).per_iteration_seconds, 1)
+
+
+def test_fig17_dr_single_iteration(benchmark, dataset, init):
+    with start_session(node_count=4, instances_per_node=1) as session:
+        data = session.darray(npartitions=4)
+        data.fill_from(dataset.points)
+        model = benchmark.pedantic(
+            lambda: hpdkmeans(data, K, initial_centers=init,
+                              max_iterations=1, tolerance=0.0),
+            rounds=3, iterations=1,
+        )
+    sequential = r_kmeans(dataset.points, K, initial_centers=init,
+                          max_iterations=1, tolerance=0.0)
+    assert model.inertia == pytest.approx(sequential.inertia)
+    benchmark.extra_info.update({
+        f"paper_dr_{cores}cores_s": round(
+            model_kmeans_iteration_dr(1e6, 100, 1000,
+                                      cores=cores).per_iteration_seconds, 1)
+        for cores in (1, 2, 4, 8, 12, 16, 24)
+    })
+
+
+def test_fig17_shape_9x_and_plateau():
+    r_time = model_kmeans_iteration_r(1e6, 100, 1000).per_iteration_seconds
+    dr_12 = model_kmeans_iteration_dr(1e6, 100, 1000,
+                                      cores=12).per_iteration_seconds
+    dr_24 = model_kmeans_iteration_dr(1e6, 100, 1000,
+                                      cores=24).per_iteration_seconds
+    assert 7 <= r_time / dr_12 <= 12       # "9x speedup over stock R"
+    assert dr_24 == pytest.approx(dr_12)   # hyper-threads don't help
+    assert dr_12 < 4 * 60                  # "less than 4 minutes"
+    assert r_time > 30 * 60                # "approximately 35 minutes"

@@ -1,0 +1,63 @@
+"""Figure 18: regression to convergence — R's QR vs DR's Newton-Raphson.
+
+Real layer: lm() (explicit QR) vs hpdglm (distributed IRLS) on the same
+100k x 7 data; the answers must agree to numerical precision even though the
+algorithms differ — exactly the paper's point ("Even though the final answer
+is the same, these techniques result in different running time").
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import hpdglm
+from repro.dr import start_session
+from repro.perfmodel import model_regression_dr, model_regression_r
+from repro.rbase import lm
+from repro.workloads import make_regression
+
+ROWS = 100_000
+FEATURES = 7
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_regression(ROWS, FEATURES, noise_scale=0.3, seed=18)
+
+
+def test_fig18_r_lm_qr(benchmark, dataset):
+    fit = benchmark.pedantic(
+        lambda: lm(dataset.features, dataset.responses), rounds=3, iterations=1)
+    assert np.allclose(fit.coefficients[1:], dataset.true_coefficients, atol=0.01)
+    benchmark.extra_info["paper_r_lm_s"] = round(
+        model_regression_r(1e8, 7).total_seconds, 1)
+
+
+def test_fig18_dr_newton_raphson(benchmark, dataset):
+    with start_session(node_count=4, instances_per_node=1) as session:
+        x = session.darray(npartitions=4)
+        x.fill_from(dataset.features)
+        y = session.darray(npartitions=4,
+                           worker_assignment=[x.worker_of(i) for i in range(4)])
+        boundaries = np.linspace(0, ROWS, 5).astype(int)
+        for i in range(4):
+            y.fill_partition(
+                i, dataset.responses[boundaries[i]:boundaries[i + 1]].reshape(-1, 1))
+        model = benchmark.pedantic(lambda: hpdglm(y, x), rounds=3, iterations=1)
+    qr_fit = lm(dataset.features, dataset.responses)
+    assert np.allclose(model.coefficients, qr_fit.coefficients, atol=1e-8), \
+        "Newton-Raphson and QR must agree on the answer"
+    benchmark.extra_info.update({
+        f"paper_dr_{cores}cores_s": round(
+            model_regression_dr(1e8, 7, cores=cores, iterations=2).total_seconds, 1)
+        for cores in (1, 2, 4, 8, 12, 16, 24)
+    })
+
+
+def test_fig18_shape_dr_wins_even_single_core():
+    r_time = model_regression_r(1e8, 7).total_seconds
+    dr_1core = model_regression_dr(1e8, 7, cores=1, iterations=2).total_seconds
+    dr_24core = model_regression_dr(1e8, 7, cores=24, iterations=2).total_seconds
+    assert r_time >= 25 * 60         # "R takes more than 25 minutes"
+    assert dr_1core < 10 * 60        # "less than 10 minutes even with one core"
+    assert dr_24core < 60            # "less than a minute" at 24 cores
+    assert 7 <= dr_1core / dr_24core <= 14   # "a 9x speedup"

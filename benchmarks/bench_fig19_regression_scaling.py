@@ -1,0 +1,63 @@
+"""Figure 19: distributed regression weak scaling (proportional data/node).
+
+Real layer: hpdglm at 1, 2, and 4 workers with proportional rows; accuracy
+against the generating coefficients is asserted (the paper's methodology),
+and per-iteration laptop time should stay roughly flat.  Paper-scale layer:
+the 30M-rows-per-node, 100-feature series.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import hpdglm
+from repro.dr import start_session
+from repro.perfmodel import model_regression_dr
+from repro.workloads import make_regression
+
+ROWS_PER_NODE = 15_000
+FEATURES = 20
+
+
+def run_weak_scaling(nodes: int):
+    rows = ROWS_PER_NODE * nodes
+    data = make_regression(rows, FEATURES, noise_scale=0.1, seed=19)
+    with start_session(node_count=nodes, instances_per_node=1) as session:
+        x = session.darray(npartitions=nodes)
+        x.fill_from(data.features)
+        y = session.darray(npartitions=nodes,
+                           worker_assignment=[x.worker_of(i) for i in range(nodes)])
+        boundaries = np.linspace(0, rows, nodes + 1).astype(int)
+        for i in range(nodes):
+            y.fill_partition(
+                i, data.responses[boundaries[i]:boundaries[i + 1]].reshape(-1, 1))
+        model = hpdglm(y, x)
+    assert np.allclose(model.coefficients[1:], data.true_coefficients, atol=0.02), \
+        "synthetic-coefficient accuracy check (the paper's methodology)"
+    return model
+
+
+@pytest.mark.parametrize("nodes", [1, 2, 4])
+def test_fig19_weak_scaling(benchmark, nodes):
+    model = benchmark.pedantic(lambda: run_weak_scaling(nodes),
+                               rounds=2, iterations=1)
+    assert model.converged
+    if nodes == 4:
+        benchmark.extra_info.update({
+            f"paper_{n}nodes_iteration_s": round(
+                model_regression_dr(rows, 100, cores=24, nodes=n,
+                                    iterations=1).per_iteration_seconds, 1)
+            for n, rows in ((1, 3e7), (4, 1.2e8), (8, 2.4e8))
+        })
+
+
+def test_fig19_shape_flat_iterations_and_fast_convergence():
+    times = [
+        model_regression_dr(rows, 100, cores=24, nodes=n,
+                            iterations=1).per_iteration_seconds
+        for n, rows in ((1, 3e7), (4, 1.2e8), (8, 2.4e8))
+    ]
+    assert max(times) / min(times) < 1.05, "weak scaling must be flat"
+    assert max(times) < 120, "paper: each iteration < 2 minutes"
+    convergence = model_regression_dr(2.4e8, 100, cores=24, nodes=8,
+                                      iterations=2).total_seconds
+    assert convergence < 300, "paper: converges in ~4 minutes (2 iterations)"

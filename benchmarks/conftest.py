@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures and helpers.
+
+Every benchmark has two layers:
+
+* a **real run** through the functional engines at laptop scale, timed by
+  pytest-benchmark, with the paper's qualitative shape asserted (who wins,
+  does it scale, where does it plateau);
+* the **paper-scale replay** through :mod:`repro.perfmodel`, attached to the
+  benchmark's ``extra_info`` so the JSON output records the modelled
+  paper-scale series next to the measured laptop-scale timing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.vertica import HashSegmentation, VerticaCluster
+
+
+def build_numeric_table(node_count: int, rows: int, features: int, seed: int = 0,
+                        table: str = "bench") -> tuple[VerticaCluster, list[str]]:
+    """A hash-segmented numeric table for transfer/prediction benchmarks."""
+    rng = np.random.default_rng(seed)
+    columns = {"k": rng.integers(0, 1_000_000, rows)}
+    names = []
+    for j in range(features):
+        name = f"c{j}"
+        names.append(name)
+        columns[name] = rng.normal(size=rows)
+    cluster = VerticaCluster(node_count=node_count)
+    cluster.create_table_like(table, columns, HashSegmentation("k"))
+    cluster.bulk_load(table, columns)
+    return cluster, names
+
+
+@pytest.fixture(scope="session")
+def paper_profile():
+    from repro.perfmodel import SL390
+
+    return SL390

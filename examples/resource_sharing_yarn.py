@@ -1,0 +1,84 @@
+"""Co-located deployment with YARN resource brokering (paper §6).
+
+Vertica and Distributed R share the same machines: the database holds a
+long-term allocation, analytics sessions request containers on demand with
+locality preference, and cgroup limits isolate the two.  The example also
+shows what happens when a session asks for more than the cluster has left.
+
+Run with ``python examples/resource_sharing_yarn.py``.
+"""
+
+import numpy as np
+
+from repro import VerticaCluster, db2darray, hpdkmeans, start_session
+from repro.errors import ResourceError
+from repro.vertica import HashSegmentation
+from repro.yarn import NodeCapacity, ResourceManager
+
+NODES = 4
+CORES_PER_NODE = 16
+MEMORY_PER_NODE = 64 << 30
+
+
+def main() -> None:
+    # One resource manager spans the shared machines.
+    yarn = ResourceManager(
+        [NodeCapacity(CORES_PER_NODE, MEMORY_PER_NODE) for _ in range(NODES)],
+        policy="capacity",
+        queue_capacities={"database": 0.5, "analytics": 0.5},
+    )
+
+    # The database registers long-lived containers ("releasing resources and
+    # tearing down a database is costly").
+    database_app = yarn.submit_application(
+        "vertica",
+        [{"cores": 8, "memory_bytes": 24 << 30, "preferred_node": i}
+         for i in range(NODES)],
+        queue="database",
+        require_all=True,
+    )
+    print(f"database holds {database_app.cores_allocated} cores "
+          f"({yarn.utilization():.0%} of the cluster)")
+
+    cluster = VerticaCluster(node_count=NODES)
+    rng = np.random.default_rng(11)
+    columns = {"k": rng.integers(0, 10**6, 30_000),
+               **{f"c{j}": rng.normal(size=30_000) for j in range(6)}}
+    cluster.create_table_like("events", columns, HashSegmentation("k"))
+    cluster.bulk_load("events", columns)
+
+    # Analytics sessions come and go; each one asks YARN for containers
+    # co-located with the database nodes it will pull segments from.
+    for run in range(3):
+        with start_session(node_count=NODES, instances_per_node=4,
+                           yarn=yarn) as session:
+            app = yarn.application(session._yarn_app.application_id)
+            print(f"session {run}: {app.cores_allocated} cores granted, "
+                  f"locality {app.locality_fraction():.0%}, "
+                  f"cluster at {yarn.utilization():.0%}")
+            data = db2darray(cluster, "events", [f"c{j}" for j in range(6)],
+                             session)
+            model = hpdkmeans(data, k=5, seed=run, max_iterations=5)
+            print(f"  -> clustered {model.n_observations:,} rows, "
+                  f"inertia {model.inertia:,.0f}")
+        print(f"session {run} released; cluster back to "
+              f"{yarn.utilization():.0%}")
+
+    # Over-subscription: a greedy session cannot evict the database.
+    try:
+        yarn.submit_application(
+            "greedy-session",
+            [{"cores": CORES_PER_NODE, "memory_bytes": MEMORY_PER_NODE,
+              "preferred_node": i} for i in range(NODES)],
+            queue="analytics",
+            require_all=True,
+        )
+    except ResourceError as exc:
+        print(f"greedy session rejected as expected: {exc}")
+
+    yarn.release_application(database_app)
+    print(f"database released; cluster at {yarn.utilization():.0%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+Allows `pip install -e . --no-build-isolation --no-use-pep517` (the legacy
+`setup.py develop` path) where PEP 517 editable installs are unavailable.
+All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""GLM families for ``hpdglm``: gaussian, binomial(logit), poisson(log).
+
+Each family supplies the pieces IRLS/Newton-Raphson needs: the inverse link
+(mean function), the derivative of the mean w.r.t. the linear predictor, the
+variance function, and the unit deviance.  Figure 3's
+``family=binomial(link=logit)`` maps to :func:`binomial`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["Family", "gaussian", "binomial", "poisson", "family_by_name"]
+
+_EPS = 1e-10
+
+
+@dataclass(frozen=True)
+class Family:
+    """One exponential-family specification with its canonical link."""
+
+    name: str
+    link_name: str
+    inverse_link: Callable[[np.ndarray], np.ndarray]     # eta -> mu
+    mean_derivative: Callable[[np.ndarray], np.ndarray]  # d mu / d eta at eta
+    variance: Callable[[np.ndarray], np.ndarray]         # Var(Y | mu)
+    deviance: Callable[[np.ndarray, np.ndarray], np.ndarray]  # per-row unit deviance
+    initialize: Callable[[np.ndarray], np.ndarray]       # y -> starting mu
+
+    def validate_response(self, y: np.ndarray) -> None:
+        if self.name == "binomial" and ((y < 0) | (y > 1)).any():
+            raise ModelError("binomial responses must lie in [0, 1]")
+        if self.name == "poisson" and (y < 0).any():
+            raise ModelError("poisson responses must be non-negative")
+
+
+def _identity(eta: np.ndarray) -> np.ndarray:
+    return eta
+
+
+def gaussian() -> Family:
+    """Linear regression: identity link, constant variance."""
+    return Family(
+        name="gaussian",
+        link_name="identity",
+        inverse_link=_identity,
+        mean_derivative=lambda eta: np.ones_like(eta),
+        variance=lambda mu: np.ones_like(mu),
+        deviance=lambda y, mu: (y - mu) ** 2,
+        initialize=lambda y: y.astype(np.float64),
+    )
+
+
+def _sigmoid(eta: np.ndarray) -> np.ndarray:
+    out = np.empty_like(eta, dtype=np.float64)
+    positive = eta >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-eta[positive]))
+    exp_eta = np.exp(eta[~positive])
+    out[~positive] = exp_eta / (1.0 + exp_eta)
+    return out
+
+
+def _binomial_deviance(y: np.ndarray, mu: np.ndarray) -> np.ndarray:
+    mu = np.clip(mu, _EPS, 1.0 - _EPS)
+    term1 = np.where(y > 0, y * np.log(np.where(y > 0, y, 1.0) / mu), 0.0)
+    term2 = np.where(
+        y < 1, (1 - y) * np.log(np.where(y < 1, 1 - y, 1.0) / (1 - mu)), 0.0
+    )
+    return 2.0 * (term1 + term2)
+
+
+def binomial() -> Family:
+    """Logistic regression: logit link, mu(1-mu) variance."""
+    return Family(
+        name="binomial",
+        link_name="logit",
+        inverse_link=_sigmoid,
+        mean_derivative=lambda eta: _sigmoid(eta) * (1.0 - _sigmoid(eta)),
+        variance=lambda mu: np.clip(mu * (1.0 - mu), _EPS, None),
+        deviance=_binomial_deviance,
+        initialize=lambda y: (y.astype(np.float64) + 0.5) / 2.0,
+    )
+
+
+def _poisson_deviance(y: np.ndarray, mu: np.ndarray) -> np.ndarray:
+    mu = np.clip(mu, _EPS, None)
+    term = np.where(y > 0, y * np.log(np.where(y > 0, y, 1.0) / mu), 0.0)
+    return 2.0 * (term - (y - mu))
+
+
+def poisson() -> Family:
+    """Poisson regression: log link, variance equal to the mean."""
+    return Family(
+        name="poisson",
+        link_name="log",
+        inverse_link=lambda eta: np.exp(np.clip(eta, -700, 700)),
+        mean_derivative=lambda eta: np.exp(np.clip(eta, -700, 700)),
+        variance=lambda mu: np.clip(mu, _EPS, None),
+        deviance=_poisson_deviance,
+        initialize=lambda y: y.astype(np.float64) + 0.1,
+    )
+
+
+_FAMILIES = {"gaussian": gaussian, "binomial": binomial, "poisson": poisson}
+
+
+def family_by_name(name: str) -> Family:
+    """Resolve a family by name (``gaussian``, ``binomial``, ``poisson``)."""
+    try:
+        return _FAMILIES[name.lower()]()
+    except KeyError:
+        raise ModelError(
+            f"unknown GLM family {name!r}; choose from {sorted(_FAMILIES)}"
+        ) from None

@@ -1,0 +1,204 @@
+"""``hpdkmeans``: distributed K-means (Lloyd's algorithm).
+
+Per iteration (the unit Figures 17 and 20 time): the master broadcasts the
+current centers; every partition assigns its points to the nearest center
+and returns partial sums, counts, and its share of the within-cluster sum of
+squares; the master averages.  Communication per iteration is O(K·d),
+independent of the row count — the same structure MLlib's K-means uses,
+which is what makes Figure 20 an apples-to-apples comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dr.darray import DArray
+from repro.errors import ModelError
+
+__all__ = ["KMeansModel", "hpdkmeans", "assign_to_centers"]
+
+
+@dataclass
+class KMeansModel:
+    """A fitted K-means clustering: centers plus fit statistics."""
+
+    centers: np.ndarray           # (k, d)
+    inertia: float                # total within-cluster sum of squares
+    iterations: int
+    converged: bool
+    n_observations: int
+    cluster_sizes: np.ndarray     # (k,)
+
+    model_type = "kmeans"
+
+    @property
+    def k(self) -> int:
+        return len(self.centers)
+
+    @property
+    def n_features(self) -> int:
+        return self.centers.shape[1]
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        """Map each point to its nearest center (0-based labels)."""
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points.reshape(-1, 1)
+        if points.shape[1] != self.n_features:
+            raise ModelError(
+                f"model expects {self.n_features} features, got {points.shape[1]}"
+            )
+        return assign_to_centers(points, self.centers)[0]
+
+
+def assign_to_centers(points: np.ndarray, centers: np.ndarray
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Nearest-center assignment; returns (labels, squared distances).
+
+    Uses the ||x||² - 2·x·c + ||c||² expansion so the hot loop is one
+    matrix multiply — the compute-bound kernel both engines share.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    centers = np.asarray(centers, dtype=np.float64)
+    point_norms = np.einsum("ij,ij->i", points, points)
+    center_norms = np.einsum("ij,ij->i", centers, centers)
+    cross = points @ centers.T
+    distances = point_norms[:, None] - 2.0 * cross + center_norms[None, :]
+    labels = np.argmin(distances, axis=1)
+    best = np.maximum(distances[np.arange(len(points)), labels], 0.0)
+    return labels, best
+
+
+def _init_centers(data: DArray, k: int, init: str, rng: np.random.Generator
+                  ) -> np.ndarray:
+    """Sample initial centers from the distributed data."""
+    shapes = data.partition_shapes()
+    rows_per_partition = np.asarray([s[0] for s in shapes], dtype=np.int64)
+    total = int(rows_per_partition.sum())
+    if total < k:
+        raise ModelError(f"cannot pick {k} centers from {total} points")
+    if init == "random":
+        chosen = np.sort(rng.choice(total, size=k, replace=False))
+        offsets = np.concatenate([[0], np.cumsum(rows_per_partition)])
+        centers = []
+        for global_index in chosen:
+            partition = int(np.searchsorted(offsets, global_index, side="right") - 1)
+            local = int(global_index - offsets[partition])
+            centers.append(np.asarray(data.get_partition(partition))[local])
+        return np.asarray(centers, dtype=np.float64)
+    if init == "kmeans++":
+        return _kmeanspp(data, k, rng)
+    raise ModelError(f"unknown init {init!r}; use 'random' or 'kmeans++'")
+
+
+def _kmeanspp(data: DArray, k: int, rng: np.random.Generator) -> np.ndarray:
+    """Distributed k-means++ seeding (D² sampling)."""
+    first_partition = rng.integers(data.npartitions)
+    part = np.asarray(data.get_partition(int(first_partition)), dtype=np.float64)
+    while len(part) == 0:
+        first_partition = (first_partition + 1) % data.npartitions
+        part = np.asarray(data.get_partition(int(first_partition)), dtype=np.float64)
+    centers = [part[rng.integers(len(part))].copy()]
+    for _ in range(1, k):
+        current = np.asarray(centers)
+        partials = data.map_partitions(
+            lambda i, p: assign_to_centers(np.asarray(p, dtype=np.float64), current)[1]
+        )
+        weights = np.concatenate(partials)
+        total_weight = weights.sum()
+        if total_weight <= 0:
+            # All points coincide with existing centers: duplicate one.
+            centers.append(centers[0].copy())
+            continue
+        target = rng.random() * total_weight
+        global_index = int(np.searchsorted(np.cumsum(weights), target))
+        global_index = min(global_index, len(weights) - 1)
+        offsets = np.concatenate([[0], np.cumsum([len(p) for p in partials])])
+        partition = int(np.searchsorted(offsets, global_index, side="right") - 1)
+        local = global_index - offsets[partition]
+        centers.append(
+            np.asarray(data.get_partition(partition), dtype=np.float64)[local].copy()
+        )
+    return np.asarray(centers, dtype=np.float64)
+
+
+def hpdkmeans(
+    data: DArray,
+    k: int,
+    max_iterations: int = 20,
+    tolerance: float = 1e-6,
+    init: str = "kmeans++",
+    initial_centers: np.ndarray | None = None,
+    seed: int | None = None,
+    iteration_callback=None,
+) -> KMeansModel:
+    """Cluster a distributed array into ``k`` groups.
+
+    ``iteration_callback(iteration, inertia)`` is invoked after each Lloyd
+    step; the per-iteration benchmarks (Figures 17/20) time these steps.
+    """
+    if k < 1:
+        raise ModelError("k must be >= 1")
+    if not data.is_filled:
+        raise ModelError("cannot cluster a darray with unfilled partitions")
+    rng = np.random.default_rng(seed)
+    if initial_centers is not None:
+        centers = np.asarray(initial_centers, dtype=np.float64)
+        if centers.shape != (k, data.ncol):
+            raise ModelError(
+                f"initial centers must be {(k, data.ncol)}, got {centers.shape}"
+            )
+        centers = centers.copy()
+    else:
+        centers = _init_centers(data, k, init, rng)
+
+    n_total = data.nrow
+    inertia = np.inf
+    converged = False
+    iterations = 0
+    counts = np.zeros(k, dtype=np.int64)
+    for iteration in range(1, max_iterations + 1):
+        iterations = iteration
+        current = centers
+
+        def lloyd_step(index: int, part: np.ndarray):
+            points = np.asarray(part, dtype=np.float64)
+            if len(points) == 0:
+                d = current.shape[1]
+                return np.zeros((k, d)), np.zeros(k, dtype=np.int64), 0.0
+            labels, distances = assign_to_centers(points, current)
+            sums = np.zeros((k, points.shape[1]))
+            np.add.at(sums, labels, points)
+            partition_counts = np.bincount(labels, minlength=k)
+            return sums, partition_counts, float(distances.sum())
+
+        partials = data.map_partitions(lloyd_step)
+        sums = np.sum([part[0] for part in partials], axis=0)
+        counts = np.sum([part[1] for part in partials], axis=0)
+        new_inertia = float(np.sum([part[2] for part in partials]))
+
+        new_centers = centers.copy()
+        non_empty = counts > 0
+        new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
+        # Empty clusters keep their previous center (R's kmeans warns and
+        # continues; reseeding would break determinism).
+
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        centers = new_centers
+        if iteration_callback is not None:
+            iteration_callback(iteration, new_inertia)
+        inertia = new_inertia
+        if shift <= tolerance:
+            converged = True
+            break
+
+    return KMeansModel(
+        centers=centers,
+        inertia=inertia,
+        iterations=iterations,
+        converged=converged,
+        n_observations=n_total,
+        cluster_sizes=np.asarray(counts, dtype=np.int64),
+    )

@@ -1,0 +1,156 @@
+"""``hpdnaivebayes``: distributed Gaussian naive Bayes.
+
+A one-pass classifier: each partition computes per-class counts, sums, and
+sums of squares; the master combines them into class priors and per-feature
+Gaussian parameters.  It doubles as the reference *custom model* for the §5
+extension point — :func:`register_naive_bayes_support` registers its codec
+and prediction UDF through the same public APIs a user would call.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dr.darray import DArray
+from repro.errors import ModelError
+
+__all__ = ["NaiveBayesModel", "hpdnaivebayes", "register_naive_bayes_support"]
+
+_VARIANCE_FLOOR = 1e-9
+
+
+@dataclass
+class NaiveBayesModel:
+    """Class priors plus per-class Gaussian feature parameters."""
+
+    class_log_priors: np.ndarray   # (k,)
+    means: np.ndarray              # (k, d)
+    variances: np.ndarray          # (k, d)
+    n_observations: int
+
+    model_type = "naivebayes"
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.class_log_priors)
+
+    @property
+    def n_features(self) -> int:
+        return self.means.shape[1]
+
+    def log_likelihood(self, features: np.ndarray) -> np.ndarray:
+        """(n, k) joint log-likelihoods."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.shape[1] != self.n_features:
+            raise ModelError(
+                f"model expects {self.n_features} features, got {features.shape[1]}"
+            )
+        # log N(x | mu, sigma^2) summed over features, per class.
+        diff = features[:, None, :] - self.means[None, :, :]
+        log_pdf = -0.5 * (
+            np.log(2.0 * np.pi * self.variances)[None, :, :]
+            + diff * diff / self.variances[None, :, :]
+        )
+        return self.class_log_priors[None, :] + log_pdf.sum(axis=2)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Most likely class per row."""
+        return np.argmax(self.log_likelihood(features), axis=1)
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        """Normalized posterior probabilities (n, k)."""
+        joint = self.log_likelihood(features)
+        joint -= joint.max(axis=1, keepdims=True)
+        likelihood = np.exp(joint)
+        return likelihood / likelihood.sum(axis=1, keepdims=True)
+
+
+def hpdnaivebayes(responses: DArray, features: DArray,
+                  n_classes: int | None = None) -> NaiveBayesModel:
+    """Fit Gaussian naive Bayes in one distributed pass.
+
+    ``responses`` holds integer class labels (0..k-1) co-partitioned with
+    ``features``.
+    """
+    if responses.npartitions != features.npartitions:
+        raise ModelError("responses and features must be co-partitioned")
+    if n_classes is None:
+        maxima = responses.map_partitions(
+            lambda i, part: int(np.max(part)) if len(part) else -1)
+        n_classes = max(maxima) + 1
+    if n_classes < 2:
+        raise ModelError(f"need at least 2 classes, inferred {n_classes}")
+    d = features.ncol
+
+    def partials(index: int, x_part: np.ndarray, y_part: np.ndarray):
+        x = np.asarray(x_part, dtype=np.float64)
+        y = np.asarray(y_part).ravel().astype(np.int64)
+        if len(y) and (y.min() < 0 or y.max() >= n_classes):
+            raise ModelError(
+                f"labels must lie in [0, {n_classes}), found "
+                f"[{y.min()}, {y.max()}]"
+            )
+        counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        sums = np.zeros((n_classes, d))
+        squares = np.zeros((n_classes, d))
+        np.add.at(sums, y, x)
+        np.add.at(squares, y, x * x)
+        return counts, sums, squares
+
+    results = features.map_partitions(partials, responses)
+    counts = np.sum([r[0] for r in results], axis=0)
+    sums = np.sum([r[1] for r in results], axis=0)
+    squares = np.sum([r[2] for r in results], axis=0)
+    total = counts.sum()
+    if (counts == 0).any():
+        empty = np.flatnonzero(counts == 0).tolist()
+        raise ModelError(f"classes {empty} have no training rows")
+    means = sums / counts[:, None]
+    variances = np.maximum(
+        squares / counts[:, None] - means * means, _VARIANCE_FLOOR)
+    return NaiveBayesModel(
+        class_log_priors=np.log(counts / total),
+        means=means,
+        variances=variances,
+        n_observations=int(total),
+    )
+
+
+def register_naive_bayes_support(cluster) -> None:
+    """Register the codec and the ``nbPredict`` UDF on a cluster.
+
+    This goes through exactly the public extension points §5 describes for
+    custom models: :func:`repro.deploy.register_model_codec` and
+    :func:`repro.deploy.make_prediction_function`.
+    """
+    from repro.deploy import make_prediction_function, register_model_codec
+    from repro.storage.encoding import SqlType
+
+    register_model_codec(
+        "naivebayes",
+        NaiveBayesModel,
+        lambda m: (
+            {"n_observations": m.n_observations},
+            {"log_priors": m.class_log_priors, "means": m.means,
+             "variances": m.variances},
+        ),
+        lambda meta, arrays: NaiveBayesModel(
+            class_log_priors=arrays["log_priors"],
+            means=arrays["means"],
+            variances=arrays["variances"],
+            n_observations=meta["n_observations"],
+        ),
+    )
+    cluster.register_udtf(
+        make_prediction_function(
+            "nbPredict", "naivebayes",
+            lambda model, feats, params: model.predict(feats).astype(np.int64),
+            output_column="label",
+            output_sql_type=SqlType.INTEGER,
+        ),
+        replace=True,
+    )

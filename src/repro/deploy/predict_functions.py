@@ -1,0 +1,158 @@
+"""In-database prediction UDFs: ``GlmPredict``, ``KmeansPredict``, ``RfPredict``.
+
+These are the transform functions of §5 / Figures 15–16: invoked as
+
+    SELECT glmPredict(a, b USING PARAMETERS model='rModel')
+    OVER (PARTITION BEST) FROM mytable2
+
+the planner fans out many instances per node, each of which loads the model
+from the local DFS replica (cached), stacks its input columns into a
+matrix, and scores it vectorized.  Users can register their own prediction
+functions for custom model types via :func:`make_prediction_function`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.deploy.deploy import load_model
+from repro.errors import ExecutionError, ModelError
+from repro.storage.encoding import ColumnSchema, SqlType
+from repro.vertica.udtf import TransformFunction, UdtfContext
+
+__all__ = [
+    "GlmPredict",
+    "KmeansPredict",
+    "RfPredict",
+    "make_prediction_function",
+    "standard_prediction_functions",
+]
+
+
+def _stack_features(args: dict[str, np.ndarray]) -> np.ndarray:
+    if not args:
+        raise ExecutionError("prediction functions require feature arguments")
+    columns = [np.asarray(arr, dtype=np.float64) for arr in args.values()]
+    return np.column_stack(columns)
+
+
+class _PredictBase(TransformFunction):
+    """Shared plumbing: resolve the model, check its type, score features."""
+
+    expected_model_type = ""
+    output_column = "prediction"
+    output_sql_type = SqlType.FLOAT
+
+    def output_schema(self, params: Mapping[str, Any]) -> list[ColumnSchema]:
+        return [ColumnSchema(self.output_column, self.output_sql_type)]
+
+    def _resolve_model(self, ctx: UdtfContext, params: Mapping[str, Any]):
+        model_name = params.get("model")
+        if not model_name:
+            raise ExecutionError(
+                f"{self.name} requires a 'model' parameter naming a deployed model"
+            )
+        model = load_model(
+            ctx.cluster, str(model_name), user=ctx.session_user,
+            from_node=ctx.node_index,
+        )
+        actual = getattr(model, "model_type", "custom")
+        if self.expected_model_type and actual != self.expected_model_type:
+            raise ModelError(
+                f"{self.name} expects a {self.expected_model_type!r} model, "
+                f"{model_name!r} is {actual!r}"
+            )
+        return model
+
+    def score(self, model, features: np.ndarray, params: Mapping[str, Any]) -> np.ndarray:
+        raise NotImplementedError
+
+    def process(self, ctx, args, params):
+        model = self._resolve_model(ctx, params)
+        features = _stack_features(args)
+        if len(features) == 0:
+            return {self.output_column: np.empty(0, dtype=self.output_sql_type.numpy_dtype)}
+        predictions = self.score(model, features, params)
+        ctx.cluster.telemetry.add("rows_predicted", len(features))
+        return {self.output_column: predictions}
+
+
+class GlmPredict(_PredictBase):
+    """Apply a deployed GLM's coefficients to table columns.
+
+    ``USING PARAMETERS model='name' [, type='response'|'link']``.
+    """
+
+    name = "glmPredict"
+    expected_model_type = "glm"
+
+    def score(self, model, features, params):
+        response_type = str(params.get("type", "response"))
+        return np.asarray(
+            model.predict(features, response_type=response_type), dtype=np.float64
+        )
+
+
+class KmeansPredict(_PredictBase):
+    """Map each input row to its nearest deployed K-means center."""
+
+    name = "kmeansPredict"
+    expected_model_type = "kmeans"
+    output_column = "cluster"
+    output_sql_type = SqlType.INTEGER
+
+    def score(self, model, features, params):
+        return np.asarray(model.predict(features), dtype=np.int64)
+
+
+class RfPredict(_PredictBase):
+    """Score rows with a deployed random forest (vote or mean)."""
+
+    name = "rfPredict"
+    expected_model_type = "randomforest"
+
+    def score(self, model, features, params):
+        predictions = model.predict(features)
+        return np.asarray(predictions, dtype=np.float64)
+
+
+class _CustomPredict(_PredictBase):
+    """A user-registered prediction function for a custom model type."""
+
+    def __init__(self, name: str, expected_model_type: str,
+                 score_fn: Callable[[Any, np.ndarray, Mapping[str, Any]], np.ndarray],
+                 output_column: str = "prediction",
+                 output_sql_type: SqlType = SqlType.FLOAT) -> None:
+        self.name = name
+        self.expected_model_type = expected_model_type
+        self._score_fn = score_fn
+        self.output_column = output_column
+        self.output_sql_type = output_sql_type
+
+    def score(self, model, features, params):
+        return np.asarray(self._score_fn(model, features, params))
+
+
+def make_prediction_function(
+    name: str,
+    model_type: str,
+    score_fn: Callable[[Any, np.ndarray, Mapping[str, Any]], np.ndarray],
+    output_column: str = "prediction",
+    output_sql_type: SqlType = SqlType.FLOAT,
+) -> TransformFunction:
+    """Build a prediction UDF for a custom model type.
+
+    "Users have the flexibility to create their own prediction functions for
+    custom models and register them with Vertica" (§5) — register the result
+    with :meth:`VerticaCluster.register_udtf`.
+    """
+    if not name:
+        raise ExecutionError("prediction function requires a name")
+    return _CustomPredict(name, model_type, score_fn, output_column, output_sql_type)
+
+
+def standard_prediction_functions() -> list[TransformFunction]:
+    """The prediction UDFs installed by default."""
+    return [GlmPredict(), KmeansPredict(), RfPredict()]

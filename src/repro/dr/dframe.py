@@ -1,0 +1,181 @@
+"""Distributed data frames: partitioned dicts of equal-length column arrays.
+
+``dframe(npartitions=)`` from Table 1.  Unlike darrays, columns may have
+mixed types (numeric and string); conformability requires every filled
+partition to expose the same column names in the same order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.dr.dobject import DistributedObject
+from repro.errors import PartitionError
+
+__all__ = ["DFrame"]
+
+
+class DFrame(DistributedObject):
+    """A row-partitioned distributed data frame."""
+
+    kind = "dframe"
+
+    def __init__(self, session, npartitions: int,
+                 worker_assignment: Sequence[int] | None = None) -> None:
+        super().__init__(session, npartitions, worker_assignment)
+        self._columns: tuple[str, ...] | None = None
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        if self._columns is None:
+            raise PartitionError("dframe has no filled partitions yet")
+        return self._columns
+
+    def fill_partition(self, index: int, data: dict[str, np.ndarray]) -> None:
+        """Load one partition from a column dict, checking conformability."""
+        if not data:
+            raise PartitionError("dframe partition requires at least one column")
+        arrays = {name: np.atleast_1d(np.asarray(values)) for name, values in data.items()}
+        lengths = {name: len(arr) for name, arr in arrays.items()}
+        if len(set(lengths.values())) != 1:
+            raise PartitionError(f"ragged dframe partition: {lengths}")
+        names = tuple(arrays)
+        with self._lock:
+            if self._columns is None:
+                self._columns = names
+            elif self._columns != names:
+                raise PartitionError(
+                    f"partition {index} columns {names} != dframe columns "
+                    f"{self._columns}"
+                )
+        rows = next(iter(lengths.values()))
+        nbytes = sum(
+            arr.nbytes if arr.dtype != object
+            else sum(len(str(v)) for v in arr)
+            for arr in arrays.values()
+        )
+        self._store(index, arrays, rows, len(names), int(nbytes))
+
+    def collect(self) -> dict[str, np.ndarray]:
+        """Concatenate all partitions into full column arrays."""
+        if not self.is_filled:
+            raise PartitionError("cannot collect a dframe with unfilled partitions")
+        parts = [self.get_partition(i) for i in range(self.npartitions)]
+        return {
+            name: np.concatenate([p[name] for p in parts]) for name in self.columns
+        }
+
+    @property
+    def nrow(self) -> int:
+        if not self.is_filled:
+            raise PartitionError("dframe has unfilled partitions; nrow unknown")
+        return sum(p.nrow for p in self.partitions)
+
+    def column_array(self, name: str) -> np.ndarray:
+        """Collect a single column across partitions."""
+        if name not in self.columns:
+            raise PartitionError(f"dframe has no column {name!r}")
+        return np.concatenate([
+            self.get_partition(i)[name] for i in range(self.npartitions)
+        ])
+
+    def update_partitions(self, fn: Callable, *others: DistributedObject) -> "DFrame":
+        """Replace each partition with ``fn(index, partition, *other_parts)``."""
+        self._check_copartitioned(others)
+
+        def task(index: int):
+            args = [self.get_partition(index)]
+            for other in others:
+                args.append(self._local_partition(other, index, relative_to=self))
+            self.fill_partition(index, fn(index, *args))
+            return None
+
+        self.session.run_partition_tasks(
+            [(self.worker_of(i), task, i) for i in range(self.npartitions)]
+        )
+        return self
+
+    # -- relational-style operations ------------------------------------------------
+
+    def select(self, columns: list[str]) -> "DFrame":
+        """A new dframe with only ``columns`` (same partitioning)."""
+        for name in columns:
+            if name not in self.columns:
+                raise PartitionError(f"dframe has no column {name!r}")
+        assignment = [self.worker_of(i) for i in range(self.npartitions)]
+        result = DFrame(self.session, self.npartitions, assignment)
+
+        def task(index: int, part: dict):
+            result.fill_partition(index, {name: part[name] for name in columns})
+            return None
+
+        self.map_partitions(task)
+        return result
+
+    def filter(self, predicate: Callable[[dict], np.ndarray]) -> "DFrame":
+        """Rows where ``predicate(partition_dict)`` returns True (per row)."""
+        assignment = [self.worker_of(i) for i in range(self.npartitions)]
+        result = DFrame(self.session, self.npartitions, assignment)
+
+        def task(index: int, part: dict):
+            mask = np.atleast_1d(np.asarray(predicate(part), dtype=bool))
+            result.fill_partition(
+                index, {name: arr[mask] for name, arr in part.items()})
+            return None
+
+        self.map_partitions(task)
+        return result
+
+    def with_column(self, name: str,
+                    fn: Callable[[dict], np.ndarray]) -> "DFrame":
+        """A new dframe with an added/replaced column computed per partition."""
+        assignment = [self.worker_of(i) for i in range(self.npartitions)]
+        result = DFrame(self.session, self.npartitions, assignment)
+
+        def task(index: int, part: dict):
+            values = np.atleast_1d(np.asarray(fn(part)))
+            rows = len(next(iter(part.values())))
+            if len(values) != rows:
+                raise PartitionError(
+                    f"with_column produced {len(values)} values for "
+                    f"{rows} rows in partition {index}"
+                )
+            result.fill_partition(index, {**part, name: values})
+            return None
+
+        self.map_partitions(task)
+        return result
+
+    def to_darray(self, columns: list[str] | None = None):
+        """Stack numeric columns into a co-located row-partitioned darray."""
+        from repro.dr.darray import DArray
+
+        names = columns if columns is not None else list(self.columns)
+        for name in names:
+            if name not in self.columns:
+                raise PartitionError(f"dframe has no column {name!r}")
+        assignment = [self.worker_of(i) for i in range(self.npartitions)]
+        result = DArray(self.session, npartitions=self.npartitions,
+                        worker_assignment=assignment)
+
+        def task(index: int, part: dict):
+            arrays = []
+            for name in names:
+                arr = np.asarray(part[name])
+                if arr.dtype == object:
+                    raise PartitionError(
+                        f"column {name!r} is not numeric; cast or drop it "
+                        "before to_darray()"
+                    )
+                arrays.append(arr.astype(np.float64))
+            result.fill_partition(
+                index,
+                np.column_stack(arrays) if arrays and len(arrays[0])
+                else np.empty((0, len(names))),
+            )
+            return None
+
+        self.map_partitions(task)
+        return result

@@ -1,0 +1,66 @@
+"""Distributed lists: partitioned sequences of arbitrary Python objects.
+
+``dlist(npartitions=)`` from Table 1.  Used for model ensembles (e.g. the
+random-forest trees each worker grows) and other irregular collections.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Callable, Sequence
+
+from repro.dr.dobject import DistributedObject
+from repro.errors import PartitionError
+
+__all__ = ["DList"]
+
+
+class DList(DistributedObject):
+    """A partitioned distributed list."""
+
+    kind = "dlist"
+
+    def __init__(self, session, npartitions: int,
+                 worker_assignment: Sequence[int] | None = None) -> None:
+        super().__init__(session, npartitions, worker_assignment)
+
+    def fill_partition(self, index: int, items: list) -> None:
+        if not isinstance(items, list):
+            raise PartitionError("dlist partitions are Python lists")
+        nbytes = sum(sys.getsizeof(item) for item in items)
+        self._store(index, list(items), len(items), None, nbytes)
+
+    def append_to_partition(self, index: int, item) -> None:
+        """Append one item (creates the partition if empty)."""
+        info = self._info(index)
+        current = self.get_partition(index) if info.filled else []
+        self.fill_partition(index, current + [item])
+
+    def collect(self) -> list:
+        """Concatenate all partitions in index order."""
+        out: list = []
+        for index in range(self.npartitions):
+            if self.partitions[index].filled:
+                out.extend(self.get_partition(index))
+        return out
+
+    @property
+    def total_items(self) -> int:
+        return sum(p.nrow or 0 for p in self.partitions)
+
+    def update_partitions(self, fn: Callable, *others: DistributedObject) -> "DList":
+        """Replace each partition with ``fn(index, items, *other_parts)``."""
+        self._check_copartitioned(others)
+
+        def task(index: int):
+            current = self.get_partition(index) if self.partitions[index].filled else []
+            args = [current]
+            for other in others:
+                args.append(self._local_partition(other, index, relative_to=self))
+            self.fill_partition(index, fn(index, *args))
+            return None
+
+        self.session.run_partition_tasks(
+            [(self.worker_of(i), task, i) for i in range(self.npartitions)]
+        )
+        return self

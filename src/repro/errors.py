@@ -1,0 +1,82 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch one base class.  Subsystem packages re-export the subset relevant to
+their public API.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class StorageError(ReproError):
+    """Corrupt, truncated, or otherwise unreadable columnar storage."""
+
+
+class CatalogError(ReproError):
+    """Unknown or duplicate catalog object (table, projection, model, UDF)."""
+
+
+class SqlError(ReproError):
+    """Base class for SQL front-end errors."""
+
+
+class SqlSyntaxError(SqlError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SqlAnalysisError(SqlError):
+    """The SQL parsed but references unknown columns, tables, or functions."""
+
+
+class ExecutionError(ReproError):
+    """A query or UDF failed while executing."""
+
+
+class TransferError(ReproError):
+    """A data transfer (ODBC or Vertica Fast Transfer) failed."""
+
+
+class PartitionError(ReproError):
+    """Distributed data-structure partitions are malformed or non-conforming."""
+
+
+class SessionError(ReproError):
+    """A Distributed R session is missing, closed, or misconfigured."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its iteration budget."""
+
+
+class ModelError(ReproError):
+    """A machine-learning model is invalid for the requested operation."""
+
+
+class SerializationError(ReproError):
+    """A model blob failed to serialize or deserialize."""
+
+
+class DfsError(ReproError):
+    """The internal distributed file system rejected an operation."""
+
+
+class PermissionDeniedError(ReproError):
+    """The current user lacks the privilege required for the operation."""
+
+
+class ResourceError(ReproError):
+    """The resource manager could not satisfy an allocation request."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation kernel was used incorrectly."""

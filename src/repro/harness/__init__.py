@@ -1,0 +1,13 @@
+"""Experiment harness: regenerate every table and figure of the paper."""
+
+from repro.harness.figures import FigureResult, FigureRow, all_figures
+from repro.harness.report import format_all, format_figure, write_experiments_md
+
+__all__ = [
+    "FigureResult",
+    "FigureRow",
+    "all_figures",
+    "format_figure",
+    "format_all",
+    "write_experiments_md",
+]

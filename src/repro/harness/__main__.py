@@ -1,0 +1,36 @@
+"""``python -m repro.harness``: regenerate every figure and EXPERIMENTS.md."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness.figures import all_figures
+from repro.harness.report import format_all, write_experiments_md
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness",
+        description="Regenerate the paper's evaluation figures "
+                    "(paper vs modelled series).",
+    )
+    parser.add_argument(
+        "--write", metavar="PATH", default=None,
+        help="also write the results to an EXPERIMENTS.md file",
+    )
+    parser.add_argument(
+        "--skip-functional", action="store_true",
+        help="skip figures that run the real engines (Fig 10)",
+    )
+    args = parser.parse_args(argv)
+    figures = all_figures(include_functional=not args.skip_functional)
+    print(format_all(figures))
+    if args.write:
+        path = write_experiments_md(figures, args.write)
+        print(f"\nwrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Single-threaded "stock R" baselines (the paper's comparison points)."""
+
+from repro.rbase.kmeans import r_kmeans
+from repro.rbase.lm import LmFit, glm_fit, lm
+
+__all__ = ["lm", "LmFit", "glm_fit", "r_kmeans"]

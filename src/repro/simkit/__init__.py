@@ -1,0 +1,23 @@
+"""Discrete-event simulation kernel used by :mod:`repro.perfmodel`.
+
+A self-contained, simpy-like DES: generator processes, timeouts, bounded
+resources, containers, stores, and monitors.
+"""
+
+from repro.simkit.core import AllOf, AnyOf, Environment, Event, Interrupt, Process, Timeout
+from repro.simkit.monitor import Monitor
+from repro.simkit.resources import Container, Resource, Store
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "Resource",
+    "Container",
+    "Store",
+    "Monitor",
+]

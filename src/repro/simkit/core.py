@@ -1,0 +1,339 @@
+"""A small discrete-event simulation kernel.
+
+The performance-model layer (:mod:`repro.perfmodel`) replays the paper's
+experiments at paper scale.  It needs processes that wait on timeouts, queue
+on bounded resources, and synchronize on each other — the classic simpy
+programming model.  This module implements that model from scratch: an
+:class:`Environment` drives a priority queue of events, and processes are
+plain Python generators that ``yield`` the events they wait for.
+
+Example
+-------
+>>> env = Environment()
+>>> def hello(env):
+...     yield env.timeout(5.0)
+...     return "done at %g" % env.now
+>>> proc = env.process(hello(env))
+>>> env.run()
+>>> proc.value
+'done at 5'
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "Environment",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+]
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence that processes may wait on.
+
+    An event moves through three states: *pending* (created), *triggered*
+    (scheduled with a value), and *processed* (callbacks ran).  Waiting
+    processes register callbacks; when the environment pops the event off the
+    queue it invokes them.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: list[Callable[["Event"], None]] | None = []
+        self._value: Any = None
+        self._ok = True
+        self._triggered = False
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def value(self) -> Any:
+        if not self._triggered:
+            raise SimulationError("event value read before it was triggered")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value`` at the current time."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed; waiting processes see ``exception``."""
+        if self._triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self._triggered = True
+        self.env._schedule(self)
+        return self
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._value = value
+        self._triggered = True
+        env._schedule(self, delay=delay)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self.events = list(events)
+        self._unfired = len(self.events)
+        if not self.events:
+            self.succeed({})
+            return
+        for event in self.events:
+            if event._processed:
+                self._check(event)
+            else:
+                if event.callbacks is None:
+                    self._check(event)
+                else:
+                    event.callbacks.append(self._check)
+
+    def _collect(self) -> dict[Event, Any]:
+        return {e: e._value for e in self.events if e._triggered}
+
+    def _check(self, event: Event) -> None:
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires once every component event has fired (fails fast on failure)."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._unfired -= 1
+        if self._unfired == 0:
+            self.succeed(self._collect())
+
+
+class AnyOf(_Condition):
+    """Fires as soon as any component event fires."""
+
+    def _check(self, event: Event) -> None:
+        if self._triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed(self._collect())
+
+
+class Process(Event):
+    """Wraps a generator so it can run inside the environment.
+
+    The process itself is an event: it triggers when the generator returns
+    (value = the generator's return value) or raises.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator) -> None:
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Event | None = None
+        init = Event(env)
+        init.callbacks.append(self._resume)
+        init.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self._triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        event = Event(self.env)
+        event._interrupt_cause = cause  # type: ignore[attr-defined]
+        event.callbacks.append(self._resume)
+        event.succeed()
+
+    def _resume(self, event: Event) -> None:
+        # Detach from the event we were waiting on if this is an interrupt.
+        interrupt_cause = getattr(event, "_interrupt_cause", _NO_INTERRUPT)
+        if interrupt_cause is not _NO_INTERRUPT:
+            if self._target is not None and self._target.callbacks is not None:
+                try:
+                    self._target.callbacks.remove(self._resume)
+                except ValueError:
+                    pass
+            self._target = None
+        self.env._active_process = self
+        try:
+            if interrupt_cause is not _NO_INTERRUPT:
+                target = self._generator.throw(Interrupt(interrupt_cause))
+            elif event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            if self.callbacks:
+                self.fail(exc)
+                return
+            raise
+        finally:
+            self.env._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process yielded {target!r}; processes must yield events"
+            )
+        if target.env is not self.env:
+            raise SimulationError("process yielded an event from another environment")
+        self._target = target
+        if target.callbacks is None:
+            # Already processed: resume on the next scheduling round.
+            resume_now = Event(self.env)
+            resume_now._ok = target._ok
+            resume_now._value = target._value
+            resume_now.callbacks.append(self._resume)
+            resume_now._triggered = True
+            self.env._schedule(resume_now)
+        else:
+            target.callbacks.append(self._resume)
+
+
+_NO_INTERRUPT = object()
+
+
+class Environment:
+    """Execution environment: the event queue and the simulation clock."""
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+        self._active_process: Process | None = None
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Process | None:
+        return self._active_process
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self._now + delay, next(self._counter), event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Return an event that fires ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """Return a fresh, untriggered event."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("step() on an empty event queue")
+        when, _, event = heapq.heappop(self._queue)
+        if when < self._now:
+            raise SimulationError("event scheduled in the past")
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        event._processed = True
+        for callback in callbacks or ():
+            callback(event)
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run until the queue drains, a deadline passes, or an event fires.
+
+        ``until`` may be ``None`` (drain the queue), a number (absolute
+        simulation time), or an :class:`Event` (run until it is processed and
+        return its value).
+        """
+        stop_event: Event | None = None
+        deadline = float("inf")
+        if isinstance(until, Event):
+            stop_event = until
+        elif until is not None:
+            deadline = float(until)
+            if deadline < self._now:
+                raise SimulationError("run(until=...) deadline is in the past")
+        while self._queue:
+            if stop_event is not None and stop_event._processed:
+                break
+            if self.peek() > deadline:
+                self._now = deadline
+                return None
+            self.step()
+        if stop_event is not None:
+            if not stop_event._triggered:
+                raise SimulationError(
+                    "run() finished but the awaited event never triggered"
+                )
+            if not stop_event._ok:
+                raise stop_event._value
+            return stop_event._value
+        if deadline != float("inf"):
+            self._now = deadline
+        return None

@@ -1,0 +1,72 @@
+"""Measurement helpers for simulations.
+
+:class:`Monitor` records ``(time, value)`` observations and computes
+time-weighted statistics — used by the performance model to report resource
+utilisation and queue lengths (e.g. how deep the ODBC connection queue gets).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.simkit.core import Environment
+
+__all__ = ["Monitor"]
+
+
+class Monitor:
+    """Records a piecewise-constant time series of observations."""
+
+    def __init__(self, env: Environment, name: str = "") -> None:
+        self.env = env
+        self.name = name
+        self._times: list[float] = []
+        self._values: list[float] = []
+
+    def observe(self, value: float) -> None:
+        """Record ``value`` at the current simulation time."""
+        now = self.env.now
+        if self._times and now < self._times[-1]:
+            raise SimulationError("observations must be recorded in time order")
+        self._times.append(now)
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def observations(self) -> list[tuple[float, float]]:
+        return list(zip(self._times, self._values))
+
+    def last(self) -> float:
+        if not self._values:
+            raise SimulationError(f"monitor {self.name!r} has no observations")
+        return self._values[-1]
+
+    def maximum(self) -> float:
+        if not self._values:
+            raise SimulationError(f"monitor {self.name!r} has no observations")
+        return max(self._values)
+
+    def minimum(self) -> float:
+        if not self._values:
+            raise SimulationError(f"monitor {self.name!r} has no observations")
+        return min(self._values)
+
+    def time_average(self, until: float | None = None) -> float:
+        """Time-weighted mean, treating the series as piecewise constant."""
+        if not self._values:
+            raise SimulationError(f"monitor {self.name!r} has no observations")
+        end = self.env.now if until is None else float(until)
+        if end < self._times[0]:
+            raise SimulationError("time_average end precedes the first observation")
+        total = 0.0
+        for i, value in enumerate(self._values):
+            start = self._times[i]
+            stop = self._times[i + 1] if i + 1 < len(self._times) else end
+            stop = min(stop, end)
+            if stop > start:
+                total += value * (stop - start)
+        span = end - self._times[0]
+        if span <= 0:
+            return self._values[-1]
+        return total / span

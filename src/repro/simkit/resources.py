@@ -1,0 +1,192 @@
+"""Shared resources for the simulation kernel.
+
+Three primitives, mirroring the classic DES toolbox:
+
+* :class:`Resource` — a bounded pool of identical slots with a FIFO wait
+  queue.  This is what models "the database has N concurrent scan slots" —
+  the mechanism behind ODBC connection storms overwhelming Vertica.
+* :class:`Container` — a continuous quantity (e.g. memory bytes) with
+  blocking ``get``/``put``.
+* :class:`Store` — a FIFO buffer of Python objects with bounded capacity,
+  used to model network streams between database nodes and workers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any
+
+from repro.errors import SimulationError
+from repro.simkit.core import Environment, Event
+
+__all__ = ["Resource", "Container", "Store"]
+
+
+class _Request(Event):
+    """Event returned by :meth:`Resource.request`; fires on acquisition."""
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+
+
+class Resource:
+    """A pool of ``capacity`` identical slots with FIFO queuing.
+
+    Usage inside a process::
+
+        req = resource.request()
+        yield req
+        try:
+            yield env.timeout(service_time)
+        finally:
+            resource.release(req)
+    """
+
+    def __init__(self, env: Environment, capacity: int = 1) -> None:
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = int(capacity)
+        self._users: set[_Request] = set()
+        self._waiting: deque[_Request] = deque()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently held."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._waiting)
+
+    def request(self) -> _Request:
+        """Ask for one slot; the returned event fires when it is granted."""
+        req = _Request(self)
+        if len(self._users) < self.capacity:
+            self._users.add(req)
+            req.succeed()
+        else:
+            self._waiting.append(req)
+        return req
+
+    def release(self, request: _Request) -> None:
+        """Return a previously granted slot and wake the next waiter."""
+        if request in self._users:
+            self._users.remove(request)
+        elif request in self._waiting:
+            self._waiting.remove(request)
+            return
+        else:
+            raise SimulationError("release() of a request this resource never granted")
+        if self._waiting and len(self._users) < self.capacity:
+            nxt = self._waiting.popleft()
+            self._users.add(nxt)
+            nxt.succeed()
+
+
+class Container:
+    """A continuous quantity with blocking ``get`` and non-blocking ``put``."""
+
+    def __init__(
+        self,
+        env: Environment,
+        capacity: float = float("inf"),
+        init: float = 0.0,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError("container capacity must be positive")
+        if not 0 <= init <= capacity:
+            raise SimulationError("initial level must lie within [0, capacity]")
+        self.env = env
+        self.capacity = float(capacity)
+        self._level = float(init)
+        self._getters: deque[tuple[Event, float]] = deque()
+        self._putters: deque[tuple[Event, float]] = deque()
+
+    @property
+    def level(self) -> float:
+        return self._level
+
+    def put(self, amount: float) -> Event:
+        """Add ``amount``; blocks while it would overflow the capacity."""
+        if amount < 0:
+            raise SimulationError("cannot put a negative amount")
+        event = Event(self.env)
+        self._putters.append((event, float(amount)))
+        self._settle()
+        return event
+
+    def get(self, amount: float) -> Event:
+        """Remove ``amount``; blocks until that much is available."""
+        if amount < 0:
+            raise SimulationError("cannot get a negative amount")
+        event = Event(self.env)
+        self._getters.append((event, float(amount)))
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters:
+                event, amount = self._putters[0]
+                if self._level + amount <= self.capacity:
+                    self._level += amount
+                    self._putters.popleft()
+                    event.succeed()
+                    progressed = True
+            if self._getters:
+                event, amount = self._getters[0]
+                if amount <= self._level:
+                    self._level -= amount
+                    self._getters.popleft()
+                    event.succeed(amount)
+                    progressed = True
+
+
+class Store:
+    """A FIFO buffer of items with bounded capacity."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")) -> None:
+        if capacity < 1:
+            raise SimulationError("store capacity must be >= 1")
+        self.env = env
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[Event] = deque()
+        self._putters: deque[tuple[Event, Any]] = deque()
+
+    @property
+    def items(self) -> list[Any]:
+        return list(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Append ``item``; blocks while the store is full."""
+        event = Event(self.env)
+        self._putters.append((event, item))
+        self._settle()
+        return event
+
+    def get(self) -> Event:
+        """Pop the oldest item; blocks while the store is empty."""
+        event = Event(self.env)
+        self._getters.append(event)
+        self._settle()
+        return event
+
+    def _settle(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            if self._putters and len(self._items) < self.capacity:
+                event, item = self._putters.popleft()
+                self._items.append(item)
+                event.succeed()
+                progressed = True
+            if self._getters and self._items:
+                event = self._getters.popleft()
+                event.succeed(self._items.popleft())
+                progressed = True

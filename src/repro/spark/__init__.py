@@ -1,0 +1,17 @@
+"""The Spark-on-HDFS comparator: block-replicated HDFS, a lazy RDD engine,
+and MLlib-style algorithms sharing kernels with the Distributed R side."""
+
+from repro.spark.context import SparkContext
+from repro.spark.hdfs import HdfsBlock, HdfsCluster, HdfsFile
+from repro.spark.mllib import spark_kmeans, spark_linear_regression
+from repro.spark.rdd import RDD
+
+__all__ = [
+    "HdfsCluster",
+    "HdfsFile",
+    "HdfsBlock",
+    "SparkContext",
+    "RDD",
+    "spark_kmeans",
+    "spark_linear_regression",
+]

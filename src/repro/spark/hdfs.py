@@ -1,0 +1,184 @@
+"""A block-based HDFS simulator (the comparison substrate of §7.3.2).
+
+Files are split into fixed-size blocks, each replicated on ``replication``
+datanodes (the paper's setup uses "the default 3-way data replication").
+The namenode tracks block placement; reads prefer a local replica — the
+property that makes "Spark … tightly integrated with HDFS, reads the data
+directly from the local HDFS node".
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import DfsError
+
+__all__ = ["HdfsBlock", "HdfsFile", "HdfsCluster"]
+
+DEFAULT_BLOCK_SIZE = 4 * 2**20
+
+
+@dataclass
+class HdfsBlock:
+    """One block's metadata: size, checksum, and replica placement."""
+
+    block_id: int
+    size: int
+    checksum: int
+    replicas: tuple[int, ...]
+
+
+@dataclass
+class HdfsFile:
+    """Namenode-side metadata for one file."""
+
+    path: str
+    size: int
+    block_size: int
+    blocks: list[HdfsBlock] = field(default_factory=list)
+
+
+class HdfsCluster:
+    """Namenode + datanodes holding replicated blocks in memory."""
+
+    def __init__(self, datanode_count: int = 4, replication: int = 3,
+                 block_size: int = DEFAULT_BLOCK_SIZE) -> None:
+        if datanode_count < 1:
+            raise DfsError("HDFS requires at least one datanode")
+        if replication < 1:
+            raise DfsError("replication must be >= 1")
+        if block_size < 1:
+            raise DfsError("block size must be positive")
+        self.datanode_count = datanode_count
+        self.replication = min(replication, datanode_count)
+        self.block_size = block_size
+        self._lock = threading.Lock()
+        self._files: dict[str, HdfsFile] = {}
+        self._stores: list[dict[int, bytes]] = [{} for _ in range(datanode_count)]
+        self._down: set[int] = set()
+        self._next_block_id = 0
+        self._placement_cursor = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    # -- failure injection ----------------------------------------------------
+
+    def fail_datanode(self, node: int) -> None:
+        self._check_node(node)
+        with self._lock:
+            self._down.add(node)
+
+    def recover_datanode(self, node: int) -> None:
+        self._check_node(node)
+        with self._lock:
+            self._down.discard(node)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.datanode_count:
+            raise DfsError(f"no datanode {node}")
+
+    # -- file operations ----------------------------------------------------------
+
+    def write_file(self, path: str, data: bytes, overwrite: bool = False) -> HdfsFile:
+        """Split ``data`` into replicated blocks and register the file."""
+        if not path:
+            raise DfsError("empty HDFS path")
+        data = bytes(data)
+        with self._lock:
+            if path in self._files:
+                if not overwrite:
+                    raise DfsError(f"HDFS file exists: {path!r}")
+                self._delete_locked(path)
+            live = [n for n in range(self.datanode_count) if n not in self._down]
+            if len(live) < 1:
+                raise DfsError("no live datanodes")
+            hdfs_file = HdfsFile(path=path, size=len(data), block_size=self.block_size)
+            for offset in range(0, max(len(data), 1), self.block_size):
+                chunk = data[offset:offset + self.block_size]
+                block_id = self._next_block_id
+                self._next_block_id += 1
+                replicas = self._choose_replicas_locked(live)
+                for node in replicas:
+                    self._stores[node][block_id] = chunk
+                hdfs_file.blocks.append(HdfsBlock(
+                    block_id=block_id,
+                    size=len(chunk),
+                    checksum=zlib.crc32(chunk),
+                    replicas=tuple(replicas),
+                ))
+            self._files[path] = hdfs_file
+            self.bytes_written += len(data) * self.replication
+            return hdfs_file
+
+    def _choose_replicas_locked(self, live: list[int]) -> list[int]:
+        count = min(self.replication, len(live))
+        start = self._placement_cursor % len(live)
+        self._placement_cursor += 1
+        return [live[(start + i) % len(live)] for i in range(count)]
+
+    def read_file(self, path: str, from_node: int | None = None) -> bytes:
+        """Read a whole file, preferring local replicas."""
+        blocks = self.file_info(path).blocks
+        return b"".join(self.read_block(path, i, from_node) for i in range(len(blocks)))
+
+    def read_block(self, path: str, block_index: int,
+                   from_node: int | None = None) -> bytes:
+        """Read one block, falling over to any live replica."""
+        info = self.file_info(path)
+        try:
+            block = info.blocks[block_index]
+        except IndexError:
+            raise DfsError(f"block {block_index} out of range in {path!r}") from None
+        candidates = list(block.replicas)
+        if from_node is not None and from_node in candidates:
+            candidates.remove(from_node)
+            candidates.insert(0, from_node)
+        with self._lock:
+            down = set(self._down)
+        for node in candidates:
+            if node in down:
+                continue
+            data = self._stores[node].get(block.block_id)
+            if data is None:
+                continue
+            if zlib.crc32(data) != block.checksum:
+                raise DfsError(f"checksum mismatch on block {block.block_id}")
+            with self._lock:
+                self.bytes_read += len(data)
+            return data
+        raise DfsError(
+            f"all replicas of block {block.block_id} in {path!r} are unavailable"
+        )
+
+    def block_locations(self, path: str) -> list[tuple[int, ...]]:
+        """Replica node tuples per block — Spark's locality scheduling input."""
+        return [block.replicas for block in self.file_info(path).blocks]
+
+    def file_info(self, path: str) -> HdfsFile:
+        with self._lock:
+            info = self._files.get(path)
+        if info is None:
+            raise DfsError(f"HDFS file not found: {path!r}")
+        return info
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._files
+
+    def delete(self, path: str) -> None:
+        with self._lock:
+            if path not in self._files:
+                raise DfsError(f"HDFS file not found: {path!r}")
+            self._delete_locked(path)
+
+    def _delete_locked(self, path: str) -> None:
+        info = self._files.pop(path)
+        for block in info.blocks:
+            for node in block.replicas:
+                self._stores[node].pop(block.block_id, None)
+
+    def list_files(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(p for p in self._files if p.startswith(prefix))

@@ -1,0 +1,136 @@
+"""MLlib-style algorithms on the RDD engine.
+
+"Spark and DR denote the same implementation of the K-means algorithm, and
+hence an apples-to-apples comparison" (§7.3.2, Figure 20): the Lloyd kernel
+here is literally :func:`repro.algorithms.kmeans.assign_to_centers`, the
+same function the Distributed R implementation calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.algorithms.kmeans import KMeansModel, assign_to_centers
+from repro.errors import ModelError
+from repro.spark.rdd import RDD
+
+__all__ = ["spark_kmeans", "spark_linear_regression"]
+
+
+def spark_kmeans(
+    points_rdd: RDD,
+    k: int,
+    max_iterations: int = 20,
+    tolerance: float = 1e-6,
+    seed: int | None = None,
+    initial_centers: np.ndarray | None = None,
+    iteration_callback=None,
+) -> KMeansModel:
+    """Lloyd's K-means over an RDD whose items are numpy row-chunks."""
+    if k < 1:
+        raise ModelError("k must be >= 1")
+    points_rdd.cache()
+
+    counts_and_dims = points_rdd.aggregate_partitions(
+        lambda i, items: (
+            sum(len(chunk) for chunk in items),
+            items[0].shape[1] if items else 0,
+        )
+    )
+    n_total = sum(c for c, _ in counts_and_dims)
+    dims = [d for _, d in counts_and_dims if d]
+    if n_total < k or not dims:
+        raise ModelError(f"cannot pick {k} centers from {n_total} points")
+    d = dims[0]
+
+    if initial_centers is not None:
+        centers = np.asarray(initial_centers, dtype=np.float64).copy()
+        if centers.shape != (k, d):
+            raise ModelError(f"initial centers must be {(k, d)}")
+    else:
+        rng = np.random.default_rng(seed)
+        sampled = points_rdd.aggregate_partitions(
+            lambda i, items: items[0][
+                np.random.default_rng((seed or 0) + i).integers(
+                    0, len(items[0]), size=min(k, len(items[0]))
+                )
+            ] if items and len(items[0]) else np.empty((0, d))
+        )
+        pool = np.vstack(sampled)
+        if len(pool) < k:
+            raise ModelError("not enough sampled points to seed centers")
+        centers = pool[rng.choice(len(pool), size=k, replace=False)]
+
+    inertia = np.inf
+    converged = False
+    iterations = 0
+    counts = np.zeros(k, dtype=np.int64)
+    for iteration in range(1, max_iterations + 1):
+        iterations = iteration
+        current = centers
+
+        def lloyd(index: int, items: list):
+            sums = np.zeros((k, d))
+            partial_counts = np.zeros(k, dtype=np.int64)
+            sse = 0.0
+            for chunk in items:
+                if len(chunk) == 0:
+                    continue
+                labels, distances = assign_to_centers(chunk, current)
+                np.add.at(sums, labels, chunk)
+                partial_counts += np.bincount(labels, minlength=k)
+                sse += float(distances.sum())
+            return sums, partial_counts, sse
+
+        partials = points_rdd.aggregate_partitions(lloyd)
+        sums = np.sum([p[0] for p in partials], axis=0)
+        counts = np.sum([p[1] for p in partials], axis=0)
+        new_inertia = float(np.sum([p[2] for p in partials]))
+
+        new_centers = centers.copy()
+        non_empty = counts > 0
+        new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        centers = new_centers
+        if iteration_callback is not None:
+            iteration_callback(iteration, new_inertia)
+        inertia = new_inertia
+        if shift <= tolerance:
+            converged = True
+            break
+
+    return KMeansModel(
+        centers=centers,
+        inertia=inertia,
+        iterations=iterations,
+        converged=converged,
+        n_observations=n_total,
+        cluster_sizes=np.asarray(counts, dtype=np.int64),
+    )
+
+
+def spark_linear_regression(xy_rdd: RDD, n_features: int):
+    """Least squares via distributed normal equations over an RDD.
+
+    Items are numpy chunks whose first column is the response and the rest
+    are features (with an intercept fitted).  Returns the coefficient
+    vector ``[intercept, b1, ..., bp]``.
+    """
+    p = n_features + 1
+
+    def partials(index: int, items: list):
+        xtx = np.zeros((p, p))
+        xty = np.zeros(p)
+        for chunk in items:
+            if len(chunk) == 0:
+                continue
+            y = chunk[:, 0]
+            x = np.column_stack([np.ones(len(chunk)), chunk[:, 1:]])
+            xtx += x.T @ x
+            xty += x.T @ y
+        return xtx, xty
+
+    results = xy_rdd.aggregate_partitions(partials)
+    xtx = np.sum([r[0] for r in results], axis=0)
+    xty = np.sum([r[1] for r in results], axis=0)
+    return np.linalg.solve(xtx, xty)

@@ -1,0 +1,164 @@
+"""Column blocks: the unit of columnar storage and of VFT streaming.
+
+A :class:`ColumnBlock` is an encoded, compressed run of values from one
+column, carrying enough metadata (row count, min/max zone map, checksum) for
+scan pruning and corruption detection.  Blocks are what segment files store
+and what Vertica Fast Transfer puts on the wire.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage import compression
+from repro.storage.encoding import (
+    SqlType,
+    coerce_to_dtype,
+    decode_values,
+    encode_values,
+    pack_validity,
+    unpack_validity,
+)
+
+__all__ = ["ColumnBlock"]
+
+_HEADER_FMT = "<4sB16sqqI"  # magic, type-code, codec (padded), rows, validity len, crc
+_MAGIC = b"RCB1"
+_TYPE_CODES = {t: i for i, t in enumerate(SqlType)}
+_TYPE_FROM_CODE = {i: t for t, i in _TYPE_CODES.items()}
+
+
+@dataclass
+class ColumnBlock:
+    """One compressed block of a single column."""
+
+    sql_type: SqlType
+    codec: str
+    row_count: int
+    payload: bytes          # compressed encoded values
+    validity: bytes         # packed validity bitmap, b"" = all valid
+    checksum: int           # crc32 of the *uncompressed* encoded values
+    min_value: float | None = None
+    max_value: float | None = None
+
+    @classmethod
+    def from_values(
+        cls,
+        values: np.ndarray,
+        sql_type: SqlType,
+        codec: str = "zlib",
+        validity: np.ndarray | None = None,
+    ) -> "ColumnBlock":
+        """Encode and compress ``values`` into a block."""
+        arr = coerce_to_dtype(np.asarray(values), sql_type)
+        if arr.ndim != 1:
+            raise StorageError(f"column block values must be 1-D, got {arr.shape}")
+        encoded = encode_values(arr, sql_type)
+        payload = compression.compress(encoded, codec)
+        min_value = max_value = None
+        if sql_type in (SqlType.INTEGER, SqlType.FLOAT) and arr.size:
+            if validity is None:
+                live = arr
+            else:
+                live = arr[np.asarray(validity, dtype=bool)]
+            if live.size:
+                finite = live[np.isfinite(live.astype(np.float64))]
+                if finite.size:
+                    min_value = float(finite.min())
+                    max_value = float(finite.max())
+        return cls(
+            sql_type=sql_type,
+            codec=codec,
+            row_count=int(arr.size),
+            payload=payload,
+            validity=pack_validity(validity, int(arr.size)),
+            checksum=zlib.crc32(encoded),
+            min_value=min_value,
+            max_value=max_value,
+        )
+
+    def values(self) -> np.ndarray:
+        """Decompress and decode the block back into a numpy array."""
+        encoded = compression.decompress(self.payload, self.codec)
+        if zlib.crc32(encoded) != self.checksum:
+            raise StorageError("column block checksum mismatch: corrupt payload")
+        return decode_values(encoded, self.sql_type, self.row_count)
+
+    def validity_mask(self) -> np.ndarray | None:
+        """Boolean present-mask, or ``None`` when every row is valid."""
+        return unpack_validity(self.validity, self.row_count)
+
+    @property
+    def compressed_size(self) -> int:
+        """Bytes this block occupies on disk / on the wire."""
+        return len(self.payload) + len(self.validity) + struct.calcsize(_HEADER_FMT)
+
+    def might_contain(self, low: float | None, high: float | None) -> bool:
+        """Zone-map pruning: can any value fall inside ``[low, high]``?"""
+        if self.min_value is None or self.max_value is None:
+            return True
+        if low is not None and self.max_value < low:
+            return False
+        if high is not None and self.min_value > high:
+            return False
+        return True
+
+    def to_bytes(self) -> bytes:
+        """Serialize the block (header + bitmap + payload) for disk or wire."""
+        codec_bytes = self.codec.encode("ascii")
+        if len(codec_bytes) > 16:
+            raise StorageError(f"codec name too long to serialize: {self.codec!r}")
+        header = struct.pack(
+            _HEADER_FMT,
+            _MAGIC,
+            _TYPE_CODES[self.sql_type],
+            codec_bytes.ljust(16, b"\0"),
+            self.row_count,
+            len(self.validity),
+            self.checksum,
+        )
+        zone = struct.pack(
+            "<Bdd",
+            1 if self.min_value is not None else 0,
+            self.min_value if self.min_value is not None else 0.0,
+            self.max_value if self.max_value is not None else 0.0,
+        )
+        return header + zone + self.validity + self.payload
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ColumnBlock":
+        """Inverse of :meth:`to_bytes`."""
+        header_size = struct.calcsize(_HEADER_FMT)
+        if len(data) < header_size:
+            raise StorageError("column block truncated in header")
+        magic, type_code, codec_raw, rows, validity_len, checksum = struct.unpack_from(
+            _HEADER_FMT, data, 0
+        )
+        if magic != _MAGIC:
+            raise StorageError(f"bad column block magic: {magic!r}")
+        try:
+            sql_type = _TYPE_FROM_CODE[type_code]
+        except KeyError:
+            raise StorageError(f"unknown column type code: {type_code}") from None
+        zone_size = struct.calcsize("<Bdd")
+        has_zone, zmin, zmax = struct.unpack_from("<Bdd", data, header_size)
+        offset = header_size + zone_size
+        validity = bytes(data[offset:offset + validity_len])
+        if len(validity) != validity_len:
+            raise StorageError("column block truncated in validity bitmap")
+        payload = bytes(data[offset + validity_len:])
+        return cls(
+            sql_type=sql_type,
+            codec=codec_raw.rstrip(b"\0").decode("ascii"),
+            row_count=rows,
+            payload=payload,
+            validity=validity,
+            checksum=checksum,
+            min_value=zmin if has_zone else None,
+            max_value=zmax if has_zone else None,
+        )

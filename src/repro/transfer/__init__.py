@@ -1,0 +1,26 @@
+"""Data transfer between the database and Distributed R: Vertica Fast
+Transfer (the paper's contribution) and the ODBC baselines it replaces."""
+
+from repro.transfer.db2darray import db2darray, db2darray_with_response, db2dframe
+from repro.transfer.odbc_loader import load_via_parallel_odbc, load_via_single_odbc
+from repro.transfer.policies import (
+    LocalityPreserving,
+    TransferPolicy,
+    UniformDistribution,
+    get_policy,
+)
+from repro.transfer.vft import ExportToDistributedR, TransferTarget
+
+__all__ = [
+    "db2darray",
+    "db2dframe",
+    "db2darray_with_response",
+    "load_via_single_odbc",
+    "load_via_parallel_odbc",
+    "TransferPolicy",
+    "LocalityPreserving",
+    "UniformDistribution",
+    "get_policy",
+    "ExportToDistributedR",
+    "TransferTarget",
+]

@@ -1,0 +1,123 @@
+"""Wire protocol for Vertica Fast Transfer streams.
+
+VFT ships *column blocks* (the database's native compressed format) rather
+than rows of text: each chunk on the wire is a frame holding one block per
+requested column.  Receivers stage raw frames in worker shm buffers and parse
+them into numpy matrices only once a stream completes (§3.3's two-step
+receive).
+
+Frame layout::
+
+    u32 column_count
+    repeated column_count times:
+        u16 name_length | name bytes (utf-8) | u64 block_length | block bytes
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.errors import TransferError
+from repro.storage.column import ColumnBlock
+from repro.storage.encoding import SqlType
+
+__all__ = ["encode_frame", "decode_frames", "frames_to_matrix", "frames_to_columns"]
+
+
+def encode_frame(columns: dict[str, np.ndarray], sql_types: dict[str, SqlType],
+                 codec: str = "zlib") -> bytes:
+    """Encode one chunk of rows (as per-column arrays) into a wire frame."""
+    if not columns:
+        raise TransferError("cannot encode an empty frame")
+    parts = [struct.pack("<I", len(columns))]
+    for name, values in columns.items():
+        try:
+            sql_type = sql_types[name]
+        except KeyError:
+            raise TransferError(f"no SQL type known for column {name!r}") from None
+        block = ColumnBlock.from_values(np.asarray(values), sql_type, codec=codec)
+        block_bytes = block.to_bytes()
+        name_bytes = name.encode("utf-8")
+        if len(name_bytes) > 0xFFFF:
+            raise TransferError(f"column name too long: {name!r}")
+        parts.append(struct.pack("<H", len(name_bytes)))
+        parts.append(name_bytes)
+        parts.append(struct.pack("<Q", len(block_bytes)))
+        parts.append(block_bytes)
+    return b"".join(parts)
+
+
+def decode_frames(payload: bytes) -> list[dict[str, np.ndarray]]:
+    """Decode a concatenation of frames back into per-chunk column dicts."""
+    chunks: list[dict[str, np.ndarray]] = []
+    offset = 0
+    total = len(payload)
+    while offset < total:
+        if offset + 4 > total:
+            raise TransferError("truncated frame header")
+        (column_count,) = struct.unpack_from("<I", payload, offset)
+        offset += 4
+        if column_count == 0 or column_count > 10_000:
+            raise TransferError(f"implausible column count {column_count}")
+        chunk: dict[str, np.ndarray] = {}
+        for _ in range(column_count):
+            if offset + 2 > total:
+                raise TransferError("truncated column name length")
+            (name_length,) = struct.unpack_from("<H", payload, offset)
+            offset += 2
+            name = payload[offset:offset + name_length].decode("utf-8")
+            offset += name_length
+            if offset + 8 > total:
+                raise TransferError("truncated block length")
+            (block_length,) = struct.unpack_from("<Q", payload, offset)
+            offset += 8
+            block_bytes = payload[offset:offset + block_length]
+            if len(block_bytes) != block_length:
+                raise TransferError("truncated column block")
+            offset += block_length
+            chunk[name] = ColumnBlock.from_bytes(block_bytes).values()
+        chunks.append(chunk)
+    return chunks
+
+
+def frames_to_matrix(payload: bytes, column_order: list[str]) -> np.ndarray:
+    """Parse staged frames into a single float64 matrix (rows x columns).
+
+    This is the "convert to an R object" step: the per-stream chunks are
+    concatenated in arrival order and the requested columns become matrix
+    columns in the caller's declared order.
+    """
+    chunks = decode_frames(payload)
+    if not chunks:
+        return np.empty((0, len(column_order)), dtype=np.float64)
+    pieces = []
+    for chunk in chunks:
+        missing = [c for c in column_order if c not in chunk]
+        if missing:
+            raise TransferError(f"frame missing columns {missing}")
+        matrix = np.column_stack([
+            np.asarray(chunk[name], dtype=np.float64) for name in column_order
+        ])
+        pieces.append(matrix)
+    return np.vstack(pieces)
+
+
+def frames_to_columns(payload: bytes, column_order: list[str]) -> dict[str, np.ndarray]:
+    """Parse staged frames into per-column arrays (mixed types allowed).
+
+    The dframe variant of :func:`frames_to_matrix`: string columns stay
+    object arrays instead of being forced into a float matrix.
+    """
+    chunks = decode_frames(payload)
+    if not chunks:
+        return {name: np.empty(0) for name in column_order}
+    out: dict[str, list[np.ndarray]] = {name: [] for name in column_order}
+    for chunk in chunks:
+        missing = [c for c in column_order if c not in chunk]
+        if missing:
+            raise TransferError(f"frame missing columns {missing}")
+        for name in column_order:
+            out[name].append(np.asarray(chunk[name]))
+    return {name: np.concatenate(pieces) for name, pieces in out.items()}

@@ -1,0 +1,85 @@
+"""The database catalog: tables, registered transform functions, users.
+
+A thin, thread-safe registry.  Model metadata lives in its own catalog table
+(:mod:`repro.vertica.models`) because the paper gives ``R_Models`` a
+queryable, table-like surface.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING
+
+from repro.errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vertica.table import Table
+    from repro.vertica.udtf import TransformFunction
+
+__all__ = ["Catalog"]
+
+
+class Catalog:
+    """Registry of tables and transform functions for one cluster."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._tables: dict[str, "Table"] = {}
+        self._udtfs: dict[str, "TransformFunction"] = {}
+
+    # -- tables ---------------------------------------------------------
+
+    def add_table(self, table: "Table") -> None:
+        key = table.name.lower()
+        with self._lock:
+            if key in self._tables:
+                raise CatalogError(f"table {table.name!r} already exists")
+            self._tables[key] = table
+
+    def get_table(self, name: str) -> "Table":
+        with self._lock:
+            try:
+                return self._tables[name.lower()]
+            except KeyError:
+                raise CatalogError(f"table {name!r} does not exist") from None
+
+    def has_table(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._tables
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        with self._lock:
+            existed = self._tables.pop(name.lower(), None) is not None
+        if not existed and not if_exists:
+            raise CatalogError(f"table {name!r} does not exist")
+        return existed
+
+    def table_names(self) -> list[str]:
+        with self._lock:
+            return sorted(t.name for t in self._tables.values())
+
+    # -- transform functions ---------------------------------------------
+
+    def register_udtf(self, udtf: "TransformFunction", replace: bool = False) -> None:
+        key = udtf.name.lower()
+        with self._lock:
+            if key in self._udtfs and not replace:
+                raise CatalogError(f"transform function {udtf.name!r} already registered")
+            self._udtfs[key] = udtf
+
+    def get_udtf(self, name: str) -> "TransformFunction":
+        with self._lock:
+            try:
+                return self._udtfs[name.lower()]
+            except KeyError:
+                raise CatalogError(
+                    f"transform function {name!r} is not registered"
+                ) from None
+
+    def has_udtf(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._udtfs
+
+    def udtf_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._udtfs)

@@ -1,0 +1,271 @@
+"""The cluster facade: Vertica as a multi-node, columnar, MPP database.
+
+:class:`VerticaCluster` ties together the catalog, per-node segments, the
+SQL front end and executor, the internal DFS, and the ``R_Models`` catalog.
+It is the single object users of :mod:`repro` hold onto for the database
+side of the workflow.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import CatalogError, ExecutionError, SqlAnalysisError
+from repro.storage.encoding import ColumnSchema, SqlType
+from repro.vertica.catalog import Catalog
+from repro.vertica.dfs import DistributedFileSystem
+from repro.vertica.executor import QueryExecutor, ResultSet
+from repro.vertica.models import R_MODELS_TABLE_NAME, RModelsCatalog
+from repro.vertica.node import DatabaseNode, NodeResources
+from repro.vertica.odbc import OdbcConnection
+from repro.vertica.segmentation import HashSegmentation, RoundRobinSegmentation, SegmentationScheme
+from repro.vertica.sql.parser import parse
+from repro.vertica.table import Table
+from repro.vertica.telemetry import Telemetry
+from repro.vertica.udtf import TransformFunction
+
+__all__ = ["VerticaCluster"]
+
+
+class VerticaCluster:
+    """A simulated multi-node Vertica database."""
+
+    def __init__(
+        self,
+        node_count: int = 4,
+        data_dir: str | Path | None = None,
+        codec: str = "zlib",
+        node_resources: NodeResources | None = None,
+        dfs_replication: int = 2,
+        executor_threads: int | None = None,
+    ) -> None:
+        if node_count < 1:
+            raise CatalogError("cluster requires at least one node")
+        self.node_count = node_count
+        self.codec = codec
+        self.data_dir = Path(data_dir) if data_dir is not None else None
+        self.nodes = [
+            DatabaseNode(i, node_resources or NodeResources()) for i in range(node_count)
+        ]
+        self.catalog = Catalog()
+        self.dfs = DistributedFileSystem(node_count, replication=dfs_replication)
+        self.r_models = RModelsCatalog()
+        self.telemetry = Telemetry()
+        self.executor_threads = executor_threads or max(4, node_count)
+        self._executor = QueryExecutor(self)
+        self._prediction_functions_installed = False
+
+    # -- DDL / data loading ----------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        schema: list[ColumnSchema],
+        segmentation: SegmentationScheme | None = None,
+        k_safety: int = 0,
+    ) -> Table:
+        """Create a table; defaults to round-robin segmentation.
+
+        ``k_safety=1`` adds buddy projections so scans survive a single
+        node failure (Vertica's fault-tolerance guarantee the paper's DFS
+        inherits).
+        """
+        if name.lower() == R_MODELS_TABLE_NAME:
+            raise CatalogError(f"{name!r} is a reserved catalog table name")
+        table = Table(
+            name=name,
+            schema=schema,
+            segmentation=segmentation or RoundRobinSegmentation(),
+            node_count=self.node_count,
+            data_dir=(self.data_dir / name if self.data_dir else None),
+            codec=self.codec,
+            k_safety=k_safety,
+        )
+        self.catalog.add_table(table)
+        return table
+
+    def create_table_like(
+        self, name: str, columns: dict[str, np.ndarray],
+        segmentation: SegmentationScheme | None = None,
+        k_safety: int = 0,
+    ) -> Table:
+        """Create a table whose schema is inferred from ``columns``."""
+        schema = [
+            ColumnSchema(col, SqlType.from_numpy(np.asarray(arr).dtype))
+            for col, arr in columns.items()
+        ]
+        return self.create_table(name, schema, segmentation, k_safety=k_safety)
+
+    def bulk_load(self, table_name: str, columns: dict[str, np.ndarray]) -> int:
+        """COPY-style bulk insert of per-column arrays."""
+        table = self.catalog.get_table(table_name)
+        inserted = table.insert(columns)
+        self.telemetry.add("rows_loaded", inserted)
+        return inserted
+
+    def load_dataframe_style(
+        self, table_name: str, columns: dict[str, np.ndarray],
+        segment_by: str | None = None,
+    ) -> Table:
+        """Create-and-load in one call (convenience used by examples)."""
+        segmentation = HashSegmentation(segment_by) if segment_by else None
+        table = self.create_table_like(table_name, columns, segmentation)
+        self.bulk_load(table_name, columns)
+        return table
+
+    # -- query execution ---------------------------------------------------------
+
+    def sql(self, query: str, user: str = "dbadmin") -> ResultSet:
+        """Parse and execute one SQL statement."""
+        statement = parse(query)
+        self.telemetry.add("queries_executed")
+        return self._executor.execute(statement, user=user)
+
+    def connect(self, user: str = "dbadmin") -> OdbcConnection:
+        """Open an ODBC-style client connection."""
+        return OdbcConnection(self, user=user)
+
+    # -- UDTF registry --------------------------------------------------------------
+
+    def register_udtf(self, udtf: TransformFunction, replace: bool = False) -> None:
+        """Register a transform function for use in SQL."""
+        self.catalog.register_udtf(udtf, replace=replace)
+
+    def install_standard_functions(self) -> None:
+        """Register the built-in prediction and transfer UDTFs.
+
+        Imported lazily to avoid circular imports; idempotent.
+        """
+        if self._prediction_functions_installed:
+            return
+        from repro.deploy.predict_functions import standard_prediction_functions
+        from repro.transfer.vft import ExportToDistributedR
+
+        for udtf in standard_prediction_functions():
+            self.catalog.register_udtf(udtf, replace=True)
+        self.catalog.register_udtf(ExportToDistributedR(), replace=True)
+        self._prediction_functions_installed = True
+
+    # -- node failure / failover --------------------------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """Take a database node down (its DFS replicas go with it)."""
+        self.nodes[node].fail()
+        self.dfs.fail_node(node)
+
+    def recover_node(self, node: int) -> None:
+        self.nodes[node].recover()
+        self.dfs.recover_node(node)
+
+    def scan_node_with_failover(
+        self, table: Table, node_index: int, columns: list[str],
+        include_rowid: bool = False, ranges: dict | None = None,
+    ) -> dict[str, np.ndarray]:
+        """Scan a node's segment, falling over to its buddy replica when the
+        node is down (requires the table to have ``k_safety=1``)."""
+        prune_counter = lambda n: self.telemetry.add("rowgroups_pruned", n)
+        node = self.nodes[node_index]
+        if not node.is_down:
+            node.acquire_scan_slot()
+            try:
+                return table.scan_node(node_index, columns,
+                                       include_rowid=include_rowid,
+                                       ranges=ranges,
+                                       prune_counter=prune_counter)
+            finally:
+                node.release_scan_slot()
+        buddy = table.buddy_host(node_index)
+        if buddy is None:
+            raise ExecutionError(
+                f"node {node_index} is down and table {table.name!r} has no "
+                "buddy projections (create it with k_safety=1)"
+            )
+        buddy_node = self.nodes[buddy]
+        if buddy_node.is_down:
+            raise ExecutionError(
+                f"node {node_index} and its buddy {buddy} are both down; "
+                f"segment of {table.name!r} is unavailable"
+            )
+        self.telemetry.add("buddy_scans")
+        buddy_node.acquire_scan_slot()
+        try:
+            return table.scan_node_replica(node_index, columns,
+                                           include_rowid=include_rowid,
+                                           ranges=ranges,
+                                           prune_counter=prune_counter)
+        finally:
+            buddy_node.release_scan_slot()
+
+    # -- scan services used by the executor and transfers -----------------------------
+
+    def table_columns(self, table_name: str) -> list[str]:
+        if table_name.lower() == R_MODELS_TABLE_NAME:
+            return list(RModelsCatalog.COLUMNS)
+        return self.catalog.get_table(table_name).column_names
+
+    def node_rowgroup_count(self, table_name: str, node: int) -> int:
+        if table_name.lower() == R_MODELS_TABLE_NAME:
+            return 1
+        return self.catalog.get_table(table_name).segments[node].rowgroup_count
+
+    def scan_table_per_node(
+        self, table_name: str, columns_needed: set[str],
+        ranges: dict | None = None,
+    ) -> list[dict[str, np.ndarray]]:
+        """Scan each node's segment in parallel; returns one batch per node.
+
+        Scans hold a per-node scan slot (the bounded resource ODBC storms
+        contend on), skip row groups excluded by the ``ranges`` zone-map
+        envelopes, and record telemetry.
+        """
+        if table_name.lower() == R_MODELS_TABLE_NAME:
+            arrays = self.r_models.as_arrays()
+            if columns_needed:
+                unknown = columns_needed - set(arrays)
+                if unknown:
+                    raise SqlAnalysisError(
+                        f"unknown columns {sorted(unknown)} in R_Models"
+                    )
+            return [arrays]
+
+        table = self.catalog.get_table(table_name)
+        if columns_needed:
+            unknown = [c for c in columns_needed if not table.has_column(c)]
+            if unknown:
+                raise SqlAnalysisError(
+                    f"unknown columns {unknown} in table {table_name!r}"
+                )
+            scan_columns = sorted(columns_needed)
+        else:
+            # No columns referenced (e.g. COUNT(*)): scan the cheapest column
+            # just to establish row counts.
+            scan_columns = [table.user_schema[0].name]
+
+        def scan(node_index: int) -> dict[str, np.ndarray]:
+            batch = self.scan_node_with_failover(table, node_index, scan_columns,
+                                                 ranges=ranges)
+            rows = len(next(iter(batch.values()))) if batch else 0
+            self.telemetry.add("rows_scanned", rows)
+            return batch
+
+        with ThreadPoolExecutor(max_workers=min(self.node_count, self.executor_threads)) as pool:
+            return list(pool.map(scan, range(self.node_count)))
+
+    # -- introspection ------------------------------------------------------------------
+
+    def table_stats(self, table_name: str) -> dict:
+        """Row counts and per-segment distribution for one table."""
+        table = self.catalog.get_table(table_name)
+        counts = table.segment_row_counts()
+        return {
+            "table": table.name,
+            "rows": table.row_count,
+            "segments": counts,
+            "compressed_bytes": table.compressed_size,
+            "segmentation": table.segmentation.describe(),
+            "skew": (max(counts) / (sum(counts) / len(counts)))
+            if table.row_count else 1.0,
+        }

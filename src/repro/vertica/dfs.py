@@ -1,0 +1,165 @@
+"""Vertica's internal distributed file system (DFS).
+
+The paper stores serialized R models here rather than in tables: "models are
+stored as binary blobs in Vertica's distributed file system … The DFS can
+replicate files across nodes to ensure that they are available at all nodes"
+(§5).  This module reproduces those semantics: named blobs, per-node replica
+placement, checksums, reads that survive node failures, and the same
+fault-tolerance guarantee as tables (data is available while at least one
+replica's node is up).
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+
+from repro.errors import DfsError
+
+__all__ = ["DistributedFileSystem", "DfsFileInfo"]
+
+
+@dataclass
+class DfsFileInfo:
+    """Metadata for one DFS file."""
+
+    path: str
+    size: int
+    checksum: int
+    replica_nodes: tuple[int, ...]
+    version: int = 1
+    attributes: dict[str, str] = field(default_factory=dict)
+
+
+class DistributedFileSystem:
+    """Replicated blob store spanning the cluster's nodes."""
+
+    def __init__(self, node_count: int, replication: int = 2) -> None:
+        if node_count < 1:
+            raise DfsError("DFS requires at least one node")
+        if replication < 1:
+            raise DfsError("replication factor must be >= 1")
+        self.node_count = node_count
+        self.replication = min(replication, node_count)
+        self._lock = threading.Lock()
+        # blobs[node][path] -> bytes
+        self._blobs: list[dict[str, bytes]] = [{} for _ in range(node_count)]
+        self._meta: dict[str, DfsFileInfo] = {}
+        self._down: set[int] = set()
+        self._placement_cursor = 0
+
+    # -- failure injection -------------------------------------------------
+
+    def fail_node(self, node: int) -> None:
+        """Mark a node as down; its replicas become unreadable."""
+        self._check_node(node)
+        with self._lock:
+            self._down.add(node)
+
+    def recover_node(self, node: int) -> None:
+        """Bring a failed node back (its replicas become readable again)."""
+        self._check_node(node)
+        with self._lock:
+            self._down.discard(node)
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.node_count:
+            raise DfsError(f"node {node} out of range (cluster has {self.node_count})")
+
+    # -- file operations -----------------------------------------------------
+
+    def write(self, path: str, data: bytes, attributes: dict[str, str] | None = None,
+              overwrite: bool = False) -> DfsFileInfo:
+        """Store ``data`` under ``path``, replicated across live nodes."""
+        if not path or path.startswith("/") is False and "//" in path:
+            raise DfsError(f"invalid DFS path: {path!r}")
+        if not isinstance(data, (bytes, bytearray)):
+            raise DfsError("DFS stores bytes; serialize the object first")
+        data = bytes(data)
+        with self._lock:
+            if path in self._meta and not overwrite:
+                raise DfsError(f"DFS file already exists: {path!r}")
+            live = [n for n in range(self.node_count) if n not in self._down]
+            if len(live) < 1:
+                raise DfsError("no live nodes to store the file")
+            replicas = self._choose_replicas(live)
+            version = self._meta[path].version + 1 if path in self._meta else 1
+            # Remove stale replicas from a previous version.
+            if path in self._meta:
+                for node in self._meta[path].replica_nodes:
+                    self._blobs[node].pop(path, None)
+            for node in replicas:
+                self._blobs[node][path] = data
+            info = DfsFileInfo(
+                path=path,
+                size=len(data),
+                checksum=zlib.crc32(data),
+                replica_nodes=tuple(replicas),
+                version=version,
+                attributes=dict(attributes or {}),
+            )
+            self._meta[path] = info
+            return info
+
+    def _choose_replicas(self, live: list[int]) -> list[int]:
+        """Round-robin placement across live nodes for balanced storage."""
+        count = min(self.replication, len(live))
+        start = self._placement_cursor % len(live)
+        self._placement_cursor += 1
+        return [live[(start + i) % len(live)] for i in range(count)]
+
+    def read(self, path: str, from_node: int | None = None) -> bytes:
+        """Read a file, transparently falling over to a live replica."""
+        with self._lock:
+            info = self._meta.get(path)
+            if info is None:
+                raise DfsError(f"DFS file not found: {path!r}")
+            candidates = list(info.replica_nodes)
+            if from_node is not None and from_node in candidates:
+                # Prefer the local replica when the caller runs on that node.
+                candidates.remove(from_node)
+                candidates.insert(0, from_node)
+            for node in candidates:
+                if node in self._down:
+                    continue
+                data = self._blobs[node].get(path)
+                if data is None:
+                    continue
+                if zlib.crc32(data) != info.checksum:
+                    raise DfsError(f"checksum mismatch reading {path!r} from node {node}")
+                return data
+        raise DfsError(
+            f"all replicas of {path!r} are on failed nodes {info.replica_nodes}"
+        )
+
+    def stat(self, path: str) -> DfsFileInfo:
+        with self._lock:
+            info = self._meta.get(path)
+        if info is None:
+            raise DfsError(f"DFS file not found: {path!r}")
+        return info
+
+    def exists(self, path: str) -> bool:
+        with self._lock:
+            return path in self._meta
+
+    def delete(self, path: str) -> None:
+        with self._lock:
+            info = self._meta.pop(path, None)
+            if info is None:
+                raise DfsError(f"DFS file not found: {path!r}")
+            for node in info.replica_nodes:
+                self._blobs[node].pop(path, None)
+
+    def list_files(self, prefix: str = "") -> list[DfsFileInfo]:
+        with self._lock:
+            return sorted(
+                (info for path, info in self._meta.items() if path.startswith(prefix)),
+                key=lambda info: info.path,
+            )
+
+    def total_bytes(self) -> int:
+        """Physical bytes across all replicas (replication included)."""
+        with self._lock:
+            return sum(len(d) for node in self._blobs for d in node.values())

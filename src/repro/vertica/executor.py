@@ -1,0 +1,737 @@
+"""Vectorized, node-parallel query execution.
+
+Executes the three plan shapes from :mod:`repro.vertica.planner`:
+
+* **Scan** — each node filters and projects its segment on a thread pool;
+  the initiator concatenates, orders, and limits.
+* **Aggregate** — classic two-phase MPP aggregation: nodes compute partial
+  states per group, the initiator merges and evaluates the final
+  expressions (AVG becomes sum/count, etc.).
+* **UDTF** — the fan-out engine behind ``ExportToDistributedR`` and the
+  prediction functions: ``PARTITION NODES`` runs one instance per node on
+  its local segment, ``PARTITION BEST`` splits each node's local data into
+  planner-chosen chunks, and ``PARTITION BY`` hash-shuffles rows so equal
+  keys land in one instance (charging cross-node traffic to telemetry).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Any, Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError, SqlAnalysisError
+from repro.vertica import expressions
+from repro.vertica.planner import AggregatePlan, ScanPlan, UdtfPlan, plan_select
+from repro.vertica.segmentation import hash64
+from repro.vertica.sql import ast
+from repro.vertica.udtf import UdtfContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vertica.cluster import VerticaCluster
+
+__all__ = ["ResultSet", "QueryExecutor"]
+
+
+class ResultSet:
+    """Columnar query result with row-oriented accessors."""
+
+    def __init__(self, column_names: list[str], columns: dict[str, np.ndarray]) -> None:
+        self.column_names = list(column_names)
+        self._columns = {
+            name: np.atleast_1d(np.asarray(columns[name])) for name in column_names
+        }
+        lengths = {len(arr) for arr in self._columns.values()}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged result columns: {lengths}")
+        self._length = lengths.pop() if lengths else 0
+
+    def __len__(self) -> int:
+        return self._length
+
+    def column(self, name: str) -> np.ndarray:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise ExecutionError(
+                f"result has no column {name!r}; columns: {self.column_names}"
+            ) from None
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        return dict(self._columns)
+
+    def rows(self) -> list[tuple]:
+        """Materialize as a list of row tuples (column order preserved)."""
+        arrays = [self._columns[name] for name in self.column_names]
+        return [tuple(arr[i] for arr in arrays) for i in range(self._length)]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result."""
+        if self._length != 1 or len(self.column_names) != 1:
+            raise ExecutionError(
+                f"scalar() needs a 1x1 result, got {self._length}x{len(self.column_names)}"
+            )
+        return self._columns[self.column_names[0]][0]
+
+
+class QueryExecutor:
+    """Executes parsed statements against a cluster."""
+
+    def __init__(self, cluster: "VerticaCluster") -> None:
+        self.cluster = cluster
+
+    # -- statement dispatch ---------------------------------------------------
+
+    def execute(self, stmt: ast.Statement, user: str = "dbadmin") -> ResultSet:
+        if isinstance(stmt, ast.Select):
+            return self._execute_select(stmt, user)
+        if isinstance(stmt, ast.CreateTable):
+            return self._execute_create(stmt)
+        if isinstance(stmt, ast.Insert):
+            return self._execute_insert(stmt)
+        if isinstance(stmt, ast.DropTable):
+            self.cluster.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
+            return ResultSet(["status"], {"status": np.asarray(["DROP TABLE"], dtype=object)})
+        if isinstance(stmt, ast.Explain):
+            return self._execute_explain(stmt.query)
+        raise ExecutionError(f"unsupported statement type {type(stmt).__name__}")
+
+    def _execute_explain(self, stmt: ast.Select) -> ResultSet:
+        """Describe the physical plan as one text row per plan step."""
+        stmt = self._resolve_aliases(stmt)
+        lines: list[str] = []
+
+        def scan_line(table_name: str) -> str:
+            if table_name.lower() == "r_models":
+                return "SCAN catalog table R_Models"
+            table = self.cluster.catalog.get_table(table_name)
+            counts = table.segment_row_counts()
+            return (f"SCAN {table.name} [{table.row_count} rows, "
+                    f"{table.node_count} segments {counts}, "
+                    f"{table.segmentation.describe()}]")
+
+        if stmt.join is not None:
+            left_alias = stmt.table_alias or stmt.table
+            right_alias = stmt.join.alias or stmt.join.table
+            lines.append(scan_line(stmt.table) + f" AS {left_alias}")
+            lines.append(scan_line(stmt.join.table) + f" AS {right_alias}")
+            lines.append(
+                f"HASH {stmt.join.kind.upper()} JOIN ON {stmt.join.condition}"
+            )
+        elif stmt.table is not None:
+            lines.append(scan_line(stmt.table))
+        if stmt.where is not None:
+            lines.append(f"FILTER {stmt.where}")
+        if stmt.udtf is not None:
+            fanout = {
+                ast.PartitionKind.BEST: "planner-chosen instances per node",
+                ast.PartitionKind.NODES: "one instance per node",
+                ast.PartitionKind.BY_COLUMN: "hash-partitioned by key",
+            }[stmt.udtf.partition.kind]
+            lines.append(f"UDTF {stmt.udtf.name} [{fanout}]")
+        elif stmt.group_by or _has_aggregates(stmt):
+            keys = ", ".join(map(str, stmt.group_by)) or "<global>"
+            lines.append(f"AGGREGATE partial per node, merge on initiator "
+                         f"[group by {keys}]")
+        if not stmt.udtf:
+            projections = ("*" if stmt.select_star
+                           else ", ".join(i.output_name for i in stmt.items))
+            lines.append(f"PROJECT {projections}")
+        if stmt.order_by:
+            keys = ", ".join(
+                f"{o.expr} {'ASC' if o.ascending else 'DESC'}"
+                for o in stmt.order_by)
+            lines.append(f"SORT {keys}")
+        if stmt.limit is not None:
+            lines.append(f"LIMIT {stmt.limit}")
+        return ResultSet(["plan"], {"plan": np.asarray(lines, dtype=object)})
+
+    def _execute_create(self, stmt: ast.CreateTable) -> ResultSet:
+        from repro.storage.encoding import ColumnSchema, SqlType
+        from repro.vertica.segmentation import HashSegmentation, RoundRobinSegmentation, Unsegmented
+
+        schema = [
+            ColumnSchema(col.name, SqlType.from_sql_name(col.type_name))
+            for col in stmt.columns
+        ]
+        if stmt.segmentation is None:
+            segmentation = RoundRobinSegmentation()
+        elif stmt.segmentation.kind == "hash":
+            segmentation = HashSegmentation(stmt.segmentation.column)
+        else:
+            segmentation = Unsegmented()
+        self.cluster.create_table(stmt.name, schema, segmentation=segmentation)
+        return ResultSet(["status"], {"status": np.asarray(["CREATE TABLE"], dtype=object)})
+
+    def _execute_insert(self, stmt: ast.Insert) -> ResultSet:
+        table = self.cluster.catalog.get_table(stmt.table)
+        inserted = table.insert_rows(stmt.rows)
+        return ResultSet(["count"], {"count": np.asarray([inserted], dtype=np.int64)})
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def _execute_select(self, stmt: ast.Select, user: str) -> ResultSet:
+        stmt = self._resolve_aliases(stmt)
+        if stmt.join is not None:
+            return self._execute_join_select(stmt)
+        plan = plan_select(stmt)
+        if isinstance(plan, UdtfPlan):
+            return self._execute_udtf(plan, user)
+        if isinstance(plan, AggregatePlan):
+            return self._execute_aggregate(plan)
+        return self._execute_scan(plan)
+
+    def _execute_join_select(self, stmt: ast.Select) -> ResultSet:
+        """Joined SELECT: materialize the hash join, then run the normal
+        scan/aggregate pipeline over the single joined batch."""
+        from repro.vertica.joins import materialize_join
+
+        if stmt.udtf is not None:
+            raise SqlAnalysisError("UDTF calls over joins are not supported")
+        batch, star_columns = materialize_join(self.cluster, stmt)
+        if stmt.where is not None:
+            mask = np.atleast_1d(
+                np.asarray(expressions.evaluate(stmt.where, batch), dtype=bool))
+            batch = {key: arr[mask] for key, arr in batch.items()}
+            stmt.where = None
+        plan = plan_select(stmt)
+        if isinstance(plan, AggregatePlan):
+            return self._execute_aggregate(plan, batches=[batch])
+        return self._execute_scan(plan, batches=[batch], star_columns=star_columns)
+
+    def _resolve_aliases(self, stmt: ast.Select) -> ast.Select:
+        """Let GROUP BY / HAVING / ORDER BY reference select-list aliases.
+
+        A real table column of the same name wins over an alias, matching
+        standard SQL resolution.
+        """
+        alias_map = {
+            item.alias: item.expr for item in stmt.items if item.alias is not None
+        }
+        if not alias_map or stmt.table is None:
+            return stmt
+        table_columns = set(self.cluster.table_columns(stmt.table))
+        if stmt.join is not None:
+            table_columns |= set(self.cluster.table_columns(stmt.join.table))
+
+        def substitute(expr: ast.Expr) -> ast.Expr:
+            if isinstance(expr, ast.ColumnRef):
+                if (expr.qualifier is None and expr.name in alias_map
+                        and expr.name not in table_columns):
+                    return alias_map[expr.name]
+                return expr
+            if isinstance(expr, ast.BinaryOp):
+                return ast.BinaryOp(expr.op, substitute(expr.left), substitute(expr.right))
+            if isinstance(expr, ast.UnaryOp):
+                return ast.UnaryOp(expr.op, substitute(expr.operand))
+            if isinstance(expr, ast.FunctionCall):
+                return ast.FunctionCall(expr.name, tuple(substitute(a) for a in expr.args))
+            if isinstance(expr, ast.AggregateCall):
+                arg = None if expr.arg is None else substitute(expr.arg)
+                return ast.AggregateCall(expr.name, arg, expr.distinct)
+            return expr
+
+        stmt.group_by = [substitute(e) for e in stmt.group_by]
+        if stmt.having is not None:
+            stmt.having = substitute(stmt.having)
+        stmt.order_by = [
+            ast.OrderItem(substitute(o.expr), o.ascending) for o in stmt.order_by
+        ]
+        return stmt
+
+    def _table_batches(
+        self, table_name: str, columns_needed: set[str], where: ast.Expr | None
+    ) -> list[dict[str, np.ndarray]]:
+        """Scan per-node batches in parallel, applying the WHERE filter.
+
+        Range constraints extracted from the WHERE clause push down to the
+        scan as zone-map envelopes, so row groups the predicate excludes are
+        never decompressed; the exact filter still runs afterwards.
+        """
+        from repro.vertica.pruning import extract_column_ranges
+
+        ranges = extract_column_ranges(where)
+        batches = self.cluster.scan_table_per_node(table_name, columns_needed,
+                                                   ranges=ranges or None)
+        if where is None:
+            return batches
+        filtered = []
+        for batch in batches:
+            mask = np.atleast_1d(
+                np.asarray(expressions.evaluate(where, batch), dtype=bool)
+            )
+            if mask.shape == (1,) and _batch_rows(batch) != 1:
+                mask = np.broadcast_to(mask, (_batch_rows(batch),))
+            filtered.append({name: arr[mask] for name, arr in batch.items()})
+        return filtered
+
+    def _execute_scan(self, plan: ScanPlan,
+                      batches: list[dict[str, np.ndarray]] | None = None,
+                      star_columns: list[str] | None = None) -> ResultSet:
+        if plan.select_star:
+            table_columns = star_columns or self.cluster.table_columns(plan.table)
+            items = [ast.SelectItem(ast.ColumnRef(name)) for name in table_columns]
+            needed = set(table_columns) | plan.columns_needed
+        else:
+            items = plan.items
+            needed = set(plan.columns_needed)
+        if batches is None:
+            batches = self._table_batches(plan.table, needed, plan.where)
+        names = [item.output_name for item in items]
+        outputs: dict[str, list[np.ndarray]] = {name: [] for name in names}
+        order_values: list[list[np.ndarray]] = [[] for _ in plan.order_by]
+        for batch in batches:
+            rows = _batch_rows(batch)
+            for item, name in zip(items, names):
+                value = np.asarray(expressions.evaluate(item.expr, batch))
+                outputs[name].append(_broadcast_rows(value, rows))
+            for i, order in enumerate(plan.order_by):
+                value = np.asarray(expressions.evaluate(order.expr, batch))
+                order_values[i].append(_broadcast_rows(value, rows))
+        columns = {
+            name: np.concatenate(chunks) if chunks else np.empty(0)
+            for name, chunks in outputs.items()
+        }
+        if plan.distinct:
+            keep = _distinct_indices([columns[name] for name in names])
+            columns = {name: arr[keep] for name, arr in columns.items()}
+            for i in range(len(order_values)):
+                order_values[i] = [np.concatenate(order_values[i])[keep]] \
+                    if order_values[i] else order_values[i]
+        if plan.order_by:
+            keys = [np.concatenate(vals) for vals in order_values]
+            index = _sort_index(keys, [o.ascending for o in plan.order_by])
+            columns = {name: arr[index] for name, arr in columns.items()}
+        if plan.limit is not None:
+            columns = {name: arr[: plan.limit] for name, arr in columns.items()}
+        return ResultSet(names, columns)
+
+    # -- aggregation ------------------------------------------------------------
+
+    def _execute_aggregate(self, plan: AggregatePlan,
+                           batches: list[dict[str, np.ndarray]] | None = None
+                           ) -> ResultSet:
+        if batches is None:
+            batches = self._table_batches(plan.table, plan.columns_needed,
+                                          plan.where)
+        merged: dict[tuple, list[_AggState]] = {}
+        for batch in batches:
+            for key, states in self._partial_aggregate(plan, batch).items():
+                if key not in merged:
+                    merged[key] = states
+                else:
+                    for existing, incoming in zip(merged[key], states):
+                        existing.merge(incoming)
+        if not plan.group_by and not merged:
+            # Global aggregate over zero rows still yields one row.
+            merged[()] = [_AggState(agg) for agg in plan.aggregates]
+
+        group_keys = sorted(merged.keys(), key=_sort_key_tuple)
+        env: dict[str, np.ndarray] = {}
+        for i, expr in enumerate(plan.group_by):
+            env[_group_alias(i)] = np.asarray(
+                [key[i] for key in group_keys],
+                dtype=object if any(isinstance(k[i], str) for k in group_keys) else None,
+            )
+        for j, agg in enumerate(plan.aggregates):
+            env[_agg_alias(j)] = np.asarray(
+                [merged[key][j].finalize() for key in group_keys]
+            )
+
+        rewritten_items = [
+            ast.SelectItem(_rewrite(item.expr, plan), item.output_name)
+            for item in plan.items
+        ]
+        names = [item.output_name for item in plan.items]
+        columns = {}
+        rows = len(group_keys)
+        for item, name in zip(rewritten_items, names):
+            value = np.asarray(expressions.evaluate(item.expr, env))
+            columns[name] = _broadcast_rows(value, rows)
+
+        if plan.having is not None:
+            mask = np.atleast_1d(np.asarray(
+                expressions.evaluate(_rewrite(plan.having, plan), env), dtype=bool
+            ))
+            mask = _broadcast_rows(mask, rows).astype(bool)
+            columns = {name: arr[mask] for name, arr in columns.items()}
+            env = {name: arr[mask] for name, arr in env.items()}
+            rows = int(mask.sum())
+
+        if plan.order_by:
+            keys = []
+            for order in plan.order_by:
+                value = np.asarray(
+                    expressions.evaluate(_rewrite(order.expr, plan), env)
+                )
+                keys.append(_broadcast_rows(value, rows))
+            index = _sort_index(keys, [o.ascending for o in plan.order_by])
+            columns = {name: arr[index] for name, arr in columns.items()}
+        if plan.limit is not None:
+            columns = {name: arr[: plan.limit] for name, arr in columns.items()}
+        return ResultSet(names, columns)
+
+    def _partial_aggregate(
+        self, plan: AggregatePlan, batch: dict[str, np.ndarray]
+    ) -> dict[tuple, list["_AggState"]]:
+        rows = _batch_rows(batch)
+        if plan.group_by:
+            key_arrays = [
+                _broadcast_rows(np.asarray(expressions.evaluate(e, batch)), rows)
+                for e in plan.group_by
+            ]
+            group_keys, inverse = _factorize(key_arrays)
+        else:
+            group_keys, inverse = [()], np.zeros(rows, dtype=np.int64)
+
+        agg_inputs = []
+        for agg in plan.aggregates:
+            if agg.arg is None:
+                agg_inputs.append(None)
+            else:
+                value = np.asarray(expressions.evaluate(agg.arg, batch))
+                agg_inputs.append(_broadcast_rows(value, rows))
+
+        partials: dict[tuple, list[_AggState]] = {}
+        for g, key in enumerate(group_keys):
+            mask = inverse == g
+            states = []
+            for agg, values in zip(plan.aggregates, agg_inputs):
+                state = _AggState(agg)
+                state.update(None if values is None else values[mask], int(mask.sum()))
+                states.append(state)
+            partials[key] = states
+        return partials
+
+    # -- UDTF fan-out -----------------------------------------------------------
+
+    def _execute_udtf(self, plan: UdtfPlan, user: str) -> ResultSet:
+        # Built-in transfer/prediction functions install on first use.
+        if not self.cluster.catalog.has_udtf(plan.udtf.name):
+            self.cluster.install_standard_functions()
+        udtf = self.cluster.catalog.get_udtf(plan.udtf.name)
+        node_count = self.cluster.node_count
+        batches = self._table_batches(plan.table, plan.columns_needed, plan.where)
+        arg_batches = [
+            self._bind_args(plan.udtf.args, batch) for batch in batches
+        ]
+
+        kind = plan.udtf.partition.kind
+        if kind is ast.PartitionKind.NODES:
+            assignments = [(node, args) for node, args in enumerate(arg_batches)]
+        elif kind is ast.PartitionKind.BEST:
+            assignments = []
+            for node, args in enumerate(arg_batches):
+                rowgroups = self.cluster.node_rowgroup_count(plan.table, node)
+                instances = self.cluster.nodes[node].best_udtf_parallelism(rowgroups)
+                assignments.extend(
+                    (node, chunk) for chunk in _split_args(args, instances)
+                )
+        else:  # PARTITION BY expr: hash-shuffle keys across the cluster
+            assignments = self._shuffle_by_key(plan, batches, arg_batches, node_count)
+
+        self.cluster.telemetry.add("udtf_instances", len(assignments))
+        results: list[dict[str, np.ndarray] | None] = [None] * len(assignments)
+
+        def run_instance(index: int) -> None:
+            node, args = assignments[index]
+            ctx = UdtfContext(
+                cluster=self.cluster,
+                node_index=node,
+                instance_index=index,
+                instance_count=len(assignments),
+                session_user=user,
+            )
+            output = udtf.process(ctx, args, dict(plan.udtf.parameters))
+            udtf.validate_output(output)
+            results[index] = output
+
+        max_workers = max(1, min(len(assignments), self.cluster.executor_threads))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            list(pool.map(run_instance, range(len(assignments))))
+
+        outputs = [r for r in results if r]
+        if not outputs:
+            declared = udtf.output_schema(dict(plan.udtf.parameters))
+            if declared:
+                return ResultSet(
+                    [c.name for c in declared],
+                    {c.name: np.empty(0, dtype=c.numpy_dtype) for c in declared},
+                )
+            return ResultSet([], {})
+        names = list(outputs[0].keys())
+        columns = {
+            name: np.concatenate([np.atleast_1d(np.asarray(o[name])) for o in outputs])
+            for name in names
+        }
+        return ResultSet(names, columns)
+
+    def _bind_args(
+        self, args: tuple[ast.Expr, ...], batch: dict[str, np.ndarray]
+    ) -> dict[str, np.ndarray]:
+        rows = _batch_rows(batch)
+        bound: dict[str, np.ndarray] = {}
+        for position, arg in enumerate(args):
+            if isinstance(arg, ast.ColumnRef):
+                name = arg.name
+            else:
+                name = f"arg{position}"
+            if name in bound:
+                name = f"arg{position}"
+            value = np.asarray(expressions.evaluate(arg, batch))
+            bound[name] = _broadcast_rows(value, rows)
+        return bound
+
+    def _shuffle_by_key(self, plan, batches, arg_batches, node_count):
+        """PARTITION BY: route each key's rows to one owning instance."""
+        total_instances = node_count
+        buckets: list[list[dict[str, np.ndarray]]] = [[] for _ in range(total_instances)]
+        for node, (batch, args) in enumerate(zip(batches, arg_batches)):
+            rows = _batch_rows(batch)
+            keys = _broadcast_rows(
+                np.asarray(expressions.evaluate(plan.udtf.partition.expr, batch)), rows
+            )
+            destination = (hash64(keys) % np.uint64(total_instances)).astype(np.int64)
+            for instance in range(total_instances):
+                mask = destination == instance
+                if not mask.any():
+                    continue
+                chunk = {name: arr[mask] for name, arr in args.items()}
+                if instance != node:
+                    moved = sum(arr.nbytes if hasattr(arr, "nbytes") else 0
+                                for arr in chunk.values())
+                    self.cluster.telemetry.add("shuffle_bytes", moved)
+                buckets[instance].append(chunk)
+        assignments = []
+        for instance, chunks in enumerate(buckets):
+            if not chunks:
+                continue
+            merged = {
+                name: np.concatenate([c[name] for c in chunks])
+                for name in chunks[0]
+            }
+            assignments.append((instance % node_count, merged))
+        return assignments
+
+
+# -- aggregation state --------------------------------------------------------
+
+
+class _AggState:
+    """Mergeable partial state for one aggregate call."""
+
+    def __init__(self, call: ast.AggregateCall) -> None:
+        self.call = call
+        self.count = 0
+        self.total = 0.0
+        self.minimum: Any = None
+        self.maximum: Any = None
+        self.distinct: set | None = set() if call.distinct else None
+
+    def update(self, values: np.ndarray | None, row_count: int) -> None:
+        name = self.call.name
+        if name == "COUNT" and self.call.arg is None:
+            self.count += row_count
+            return
+        if values is None:
+            raise SqlAnalysisError(f"{name} requires an argument")
+        values = np.atleast_1d(values)
+        if self.distinct is not None:
+            self.distinct.update(values.tolist())
+            return
+        self.count += len(values)
+        if name in ("SUM", "AVG"):
+            if len(values):
+                self.total += float(np.sum(values.astype(np.float64)))
+        elif name == "MIN":
+            if len(values):
+                candidate = values.min()
+                self.minimum = candidate if self.minimum is None else min(self.minimum, candidate)
+        elif name == "MAX":
+            if len(values):
+                candidate = values.max()
+                self.maximum = candidate if self.maximum is None else max(self.maximum, candidate)
+        elif name != "COUNT":
+            raise SqlAnalysisError(f"unknown aggregate {name}")
+
+    def merge(self, other: "_AggState") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.minimum is not None:
+            self.minimum = other.minimum if self.minimum is None else min(
+                self.minimum, other.minimum)
+        if other.maximum is not None:
+            self.maximum = other.maximum if self.maximum is None else max(
+                self.maximum, other.maximum)
+        if self.distinct is not None and other.distinct is not None:
+            self.distinct |= other.distinct
+
+    def finalize(self) -> Any:
+        name = self.call.name
+        if self.distinct is not None:
+            if name == "COUNT":
+                return len(self.distinct)
+            if name == "SUM":
+                return float(sum(self.distinct)) if self.distinct else None
+            if name == "AVG":
+                return float(sum(self.distinct)) / len(self.distinct) if self.distinct else None
+            raise SqlAnalysisError(f"DISTINCT not supported for {name}")
+        if name == "COUNT":
+            return self.count
+        if name == "SUM":
+            return self.total if self.count else None
+        if name == "AVG":
+            return self.total / self.count if self.count else None
+        if name == "MIN":
+            return self.minimum
+        if name == "MAX":
+            return self.maximum
+        raise SqlAnalysisError(f"unknown aggregate {name}")
+
+
+# -- small helpers ------------------------------------------------------------
+
+
+def _split_args(args: dict[str, np.ndarray], instances: int
+                ) -> list[dict[str, np.ndarray]]:
+    """Split bound argument arrays into contiguous per-instance chunks."""
+    rows = _batch_rows(args)
+    instances = max(1, min(instances, rows)) if rows else 1
+    boundaries = np.linspace(0, rows, instances + 1).astype(int)
+    chunks = []
+    for i in range(instances):
+        start, stop = int(boundaries[i]), int(boundaries[i + 1])
+        chunks.append({name: arr[start:stop] for name, arr in args.items()})
+    return chunks
+
+
+def _distinct_indices(columns: list[np.ndarray]) -> np.ndarray:
+    """Indices of the first occurrence of each distinct row (stable)."""
+    if not columns:
+        return np.arange(0)
+    rows = len(columns[0])
+    seen: dict[tuple, None] = {}
+    keep: list[int] = []
+    for i in range(rows):
+        key = tuple(
+            arr[i].item() if isinstance(arr[i], np.generic) else arr[i]
+            for arr in columns
+        )
+        if key not in seen:
+            seen[key] = None
+            keep.append(i)
+    return np.asarray(keep, dtype=np.int64)
+
+
+def _has_aggregates(stmt: ast.Select) -> bool:
+    sources = [item.expr for item in stmt.items]
+    if stmt.having is not None:
+        sources.append(stmt.having)
+    return any(
+        isinstance(node, ast.AggregateCall)
+        for expr in sources for node in expr.walk()
+    )
+
+
+def _batch_rows(batch: Mapping[str, np.ndarray]) -> int:
+    for arr in batch.values():
+        return len(np.atleast_1d(arr))
+    return 0
+
+
+def _broadcast_rows(value: np.ndarray, rows: int) -> np.ndarray:
+    value = np.atleast_1d(value)
+    if len(value) == rows:
+        return value
+    if len(value) == 1:
+        return np.broadcast_to(value, (rows,)).copy()
+    raise ExecutionError(f"cannot broadcast length {len(value)} to {rows} rows")
+
+
+def _sort_index(keys: list[np.ndarray], ascending: list[bool]) -> np.ndarray:
+    """Stable multi-key sort honoring per-key direction."""
+    if not keys:
+        return np.arange(0)
+    index = np.arange(len(keys[0]))
+    # Apply keys from least to most significant for a stable composite sort.
+    for key, asc in reversed(list(zip(keys, ascending))):
+        current = key[index]
+        if asc:
+            order = np.argsort(current, kind="stable")
+        else:
+            # Stable descending: naively reversing an ascending argsort
+            # would also reverse ties, so sort the reversed array and map
+            # the positions back.
+            reverse_order = np.argsort(current[::-1], kind="stable")
+            order = (len(current) - 1 - reverse_order)[::-1]
+        index = index[order]
+    return index
+
+
+def _factorize(key_arrays: list[np.ndarray]) -> tuple[list[tuple], np.ndarray]:
+    """Group rows by composite key; returns (unique keys, inverse indices)."""
+    codes = []
+    uniques = []
+    for arr in key_arrays:
+        unique_vals, inverse = np.unique(np.asarray(arr), return_inverse=True)
+        codes.append(inverse.astype(np.int64))
+        uniques.append(unique_vals)
+    combined = codes[0].copy()
+    for code, unique_vals in zip(codes[1:], uniques[1:]):
+        combined = combined * len(unique_vals) + code
+    unique_combined, inverse = np.unique(combined, return_inverse=True)
+    keys: list[tuple] = []
+    for combo in unique_combined:
+        parts = []
+        remaining = int(combo)
+        for unique_vals in reversed(uniques[1:]):
+            remaining, digit = divmod(remaining, len(unique_vals))
+            parts.append(unique_vals[digit])
+        parts.append(uniques[0][remaining])
+        keys.append(tuple(_to_python(v) for v in reversed(parts)))
+    return keys, inverse
+
+
+def _to_python(value: Any) -> Any:
+    if isinstance(value, np.generic):
+        return value.item()
+    return value
+
+
+def _sort_key_tuple(key: tuple) -> tuple:
+    """Sort group keys robustly across mixed types."""
+    return tuple(
+        (0, v) if isinstance(v, (int, float)) and not isinstance(v, bool)
+        else (1, str(v))
+        for v in key
+    )
+
+
+def _group_alias(index: int) -> str:
+    return f"__group_{index}"
+
+
+def _agg_alias(index: int) -> str:
+    return f"__agg_{index}"
+
+
+def _rewrite(expr: ast.Expr, plan: AggregatePlan) -> ast.Expr:
+    """Replace aggregate calls / group expressions with their result aliases."""
+    for j, agg in enumerate(plan.aggregates):
+        if expr == agg:
+            return ast.ColumnRef(_agg_alias(j))
+    for i, group_expr in enumerate(plan.group_by):
+        if expr == group_expr:
+            return ast.ColumnRef(_group_alias(i))
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, _rewrite(expr.left, plan), _rewrite(expr.right, plan))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, _rewrite(expr.operand, plan))
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(expr.name, tuple(_rewrite(a, plan) for a in expr.args))
+    if isinstance(expr, ast.ColumnRef):
+        raise SqlAnalysisError(
+            f"column {expr.name!r} must appear in GROUP BY or inside an aggregate"
+        )
+    return expr

@@ -1,0 +1,148 @@
+"""The ``R_Models`` catalog: metadata and permissions for deployed models.
+
+Figure 10 of the paper shows the table::
+
+    => select * from R_Models;
+     model  | owner | type       | size | description
+     model1 | X     | kmeans     | 100  | clustering
+     model2 | Y     | regression | 20   | forecasting
+
+Model *blobs* live in the DFS (:mod:`repro.vertica.dfs`); this module keeps
+the queryable metadata plus per-user access grants ("Models can be assigned
+security permissions to grant access or modification rights to database
+users", §5).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CatalogError, PermissionDeniedError
+
+__all__ = ["ModelRecord", "RModelsCatalog", "Privilege"]
+
+R_MODELS_TABLE_NAME = "r_models"
+
+
+class Privilege:
+    """Model privileges (usage = can predict with it; modify = can replace/drop)."""
+
+    USAGE = "usage"
+    MODIFY = "modify"
+    ALL = (USAGE, MODIFY)
+
+
+@dataclass
+class ModelRecord:
+    """One row of the ``R_Models`` table."""
+
+    model: str
+    owner: str
+    type: str
+    size: int
+    description: str
+    dfs_path: str
+    created_at: float = field(default_factory=time.time)
+    grants: dict[str, set[str]] = field(default_factory=dict)
+
+    def allows(self, user: str, privilege: str) -> bool:
+        if user == self.owner:
+            return True
+        return privilege in self.grants.get(user, set())
+
+
+class RModelsCatalog:
+    """Thread-safe registry backing the ``R_Models`` virtual table."""
+
+    COLUMNS = ("model", "owner", "type", "size", "description")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[str, ModelRecord] = {}
+
+    def add(self, record: ModelRecord, replace: bool = False, user: str | None = None) -> None:
+        key = record.model.lower()
+        with self._lock:
+            existing = self._records.get(key)
+            if existing is not None:
+                if not replace:
+                    raise CatalogError(f"model {record.model!r} already exists")
+                acting = user if user is not None else record.owner
+                if not existing.allows(acting, Privilege.MODIFY):
+                    raise PermissionDeniedError(
+                        f"user {acting!r} may not replace model {record.model!r}"
+                    )
+            self._records[key] = record
+
+    def get(self, model: str, user: str | None = None,
+            privilege: str = Privilege.USAGE) -> ModelRecord:
+        with self._lock:
+            record = self._records.get(model.lower())
+        if record is None:
+            raise CatalogError(f"model {model!r} does not exist")
+        if user is not None and not record.allows(user, privilege):
+            raise PermissionDeniedError(
+                f"user {user!r} lacks {privilege!r} on model {model!r}"
+            )
+        return record
+
+    def exists(self, model: str) -> bool:
+        with self._lock:
+            return model.lower() in self._records
+
+    def drop(self, model: str, user: str | None = None) -> ModelRecord:
+        with self._lock:
+            record = self._records.get(model.lower())
+            if record is None:
+                raise CatalogError(f"model {model!r} does not exist")
+            if user is not None and not record.allows(user, Privilege.MODIFY):
+                raise PermissionDeniedError(
+                    f"user {user!r} may not drop model {model!r}"
+                )
+            del self._records[model.lower()]
+            return record
+
+    def grant(self, model: str, user: str, privilege: str,
+              granting_user: str | None = None) -> None:
+        if privilege not in Privilege.ALL:
+            raise CatalogError(f"unknown privilege {privilege!r}")
+        with self._lock:
+            record = self._records.get(model.lower())
+            if record is None:
+                raise CatalogError(f"model {model!r} does not exist")
+            if granting_user is not None and granting_user != record.owner:
+                raise PermissionDeniedError(
+                    f"only the owner may grant on model {model!r}"
+                )
+            record.grants.setdefault(user, set()).add(privilege)
+
+    def revoke(self, model: str, user: str, privilege: str,
+               revoking_user: str | None = None) -> None:
+        with self._lock:
+            record = self._records.get(model.lower())
+            if record is None:
+                raise CatalogError(f"model {model!r} does not exist")
+            if revoking_user is not None and revoking_user != record.owner:
+                raise PermissionDeniedError(
+                    f"only the owner may revoke on model {model!r}"
+                )
+            record.grants.get(user, set()).discard(privilege)
+
+    def records(self) -> list[ModelRecord]:
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.model)
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """Materialize the catalog as column arrays (SELECT * FROM R_Models)."""
+        records = self.records()
+        return {
+            "model": np.asarray([r.model for r in records], dtype=object),
+            "owner": np.asarray([r.owner for r in records], dtype=object),
+            "type": np.asarray([r.type for r in records], dtype=object),
+            "size": np.asarray([r.size for r in records], dtype=np.int64),
+            "description": np.asarray([r.description for r in records], dtype=object),
+        }

@@ -1,0 +1,102 @@
+"""Database nodes: per-node resources the planner respects.
+
+A node models the paper's per-server resource envelope — the query planner
+"takes into account resource availability, such as CPU and memory usage, to
+determine the optimal number of UDF instances to spawn" (§3.1), and ODBC
+result serving contends on a bounded pool of concurrent scan slots (the
+mechanism by which hundreds of simultaneous connections overwhelm Vertica).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+
+__all__ = ["NodeResources", "DatabaseNode"]
+
+
+@dataclass
+class NodeResources:
+    """Static resource envelope of one database server."""
+
+    cores: int = 8
+    memory_bytes: int = 16 * 2**30
+    scan_slots: int = 4  # concurrent table scans the node serves
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.memory_bytes < 1 or self.scan_slots < 1:
+            raise ResourceError("node resources must all be positive")
+
+
+class DatabaseNode:
+    """One Vertica node: identity, resources, and live utilization."""
+
+    def __init__(self, index: int, resources: NodeResources | None = None) -> None:
+        self.index = index
+        self.name = f"v_node{index:04d}"
+        self.resources = resources or NodeResources()
+        self._scan_semaphore = threading.BoundedSemaphore(self.resources.scan_slots)
+        self._lock = threading.Lock()
+        self._reserved_cores = 0
+        self.peak_scan_wait_depth = 0
+        self._waiting_scans = 0
+        self._down = False
+
+    # -- liveness ------------------------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        return self._down
+
+    def fail(self) -> None:
+        """Mark the node as failed (scans must fail over to replicas)."""
+        self._down = True
+
+    def recover(self) -> None:
+        self._down = False
+
+    # -- scan slots (bounded concurrent scans) ------------------------------
+
+    def acquire_scan_slot(self) -> None:
+        """Block until a scan slot is free; tracks queueing depth."""
+        with self._lock:
+            self._waiting_scans += 1
+            self.peak_scan_wait_depth = max(
+                self.peak_scan_wait_depth, self._waiting_scans
+            )
+        self._scan_semaphore.acquire()
+        with self._lock:
+            self._waiting_scans -= 1
+
+    def release_scan_slot(self) -> None:
+        self._scan_semaphore.release()
+
+    # -- core reservations (UDF fan-out sizing) -----------------------------
+
+    def reserve_cores(self, count: int) -> int:
+        """Reserve up to ``count`` cores; returns how many were granted."""
+        if count < 0:
+            raise ResourceError("cannot reserve a negative core count")
+        with self._lock:
+            available = self.resources.cores - self._reserved_cores
+            granted = min(count, max(available, 0))
+            self._reserved_cores += granted
+            return granted
+
+    def release_cores(self, count: int) -> None:
+        with self._lock:
+            if count > self._reserved_cores:
+                raise ResourceError("releasing more cores than were reserved")
+            self._reserved_cores -= count
+
+    @property
+    def available_cores(self) -> int:
+        with self._lock:
+            return self.resources.cores - self._reserved_cores
+
+    def best_udtf_parallelism(self, rowgroups: int) -> int:
+        """PARTITION BEST fan-out: bounded by free cores and available work."""
+        cores = max(self.available_cores, 1)
+        return max(1, min(cores, rowgroups if rowgroups > 0 else 1))

@@ -1,0 +1,152 @@
+"""Table segmentation schemes.
+
+A segmentation scheme decides, per inserted row, which database node's
+segment stores it.  The paper's transfer policies are all about this
+placement: *locality preserving* transfer ships each node's segment to the
+co-located worker, so skewed segmentation directly produces skewed Distributed
+R partitions (the motivation for the *uniform distribution* policy).
+
+Schemes:
+
+* :class:`HashSegmentation` — Vertica's ``SEGMENTED BY HASH(col) ALL NODES``.
+* :class:`RoundRobinSegmentation` — even spread regardless of content.
+* :class:`SkewedSegmentation` — deliberately uneven placement (weights per
+  node); used by the ablation benchmarks to create stragglers.
+* :class:`Unsegmented` — the whole table on one node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CatalogError
+
+__all__ = [
+    "SegmentationScheme",
+    "HashSegmentation",
+    "RoundRobinSegmentation",
+    "SkewedSegmentation",
+    "Unsegmented",
+    "hash64",
+]
+
+
+def hash64(values: np.ndarray) -> np.ndarray:
+    """Vectorized 64-bit mix hash (splitmix64 finalizer) over a column.
+
+    Integers and booleans hash their value; floats hash their bit pattern;
+    object (varchar) columns hash per-value via Python's stable string hash
+    surrogate (FNV-1a over UTF-8) so results are process-independent.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == object:
+        return np.asarray([_fnv1a(str(v)) for v in arr], dtype=np.uint64)
+    if arr.dtype.kind == "f":
+        bits = arr.astype(np.float64).view(np.uint64)
+    else:
+        bits = arr.astype(np.int64).view(np.uint64)
+    x = bits.copy()
+    x += np.uint64(0x9E3779B97F4A7C15)
+    x ^= x >> np.uint64(30)
+    x *= np.uint64(0xBF58476D1CE4E5B9)
+    x ^= x >> np.uint64(27)
+    x *= np.uint64(0x94D049BB133111EB)
+    x ^= x >> np.uint64(31)
+    return x
+
+
+def _fnv1a(text: str) -> int:
+    value = 0xCBF29CE484222325
+    for byte in text.encode("utf-8"):
+        value ^= byte
+        value = (value * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return value
+
+
+class SegmentationScheme:
+    """Maps each inserted row to a node index in ``[0, node_count)``."""
+
+    def assign(self, batch: dict[str, np.ndarray], row_count: int,
+               start_rowid: int, node_count: int) -> np.ndarray:
+        """Return an int array of node indices, one per row."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class HashSegmentation(SegmentationScheme):
+    """``SEGMENTED BY HASH(column) ALL NODES``."""
+
+    column: str
+
+    def assign(self, batch, row_count, start_rowid, node_count):
+        if self.column not in batch:
+            raise CatalogError(
+                f"segmentation column {self.column!r} missing from inserted batch"
+            )
+        return (hash64(batch[self.column]) % np.uint64(node_count)).astype(np.int64)
+
+    def describe(self) -> str:
+        return f"hash({self.column})"
+
+
+@dataclass(frozen=True)
+class RoundRobinSegmentation(SegmentationScheme):
+    """Row *i* goes to node ``i % node_count`` (by global row id)."""
+
+    def assign(self, batch, row_count, start_rowid, node_count):
+        rowids = np.arange(start_rowid, start_rowid + row_count, dtype=np.int64)
+        return rowids % node_count
+
+    def describe(self) -> str:
+        return "round-robin"
+
+
+@dataclass(frozen=True)
+class SkewedSegmentation(SegmentationScheme):
+    """Places rows proportionally to per-node ``weights``.
+
+    Deterministic: the global row id is hashed to a uniform value which is
+    then bucketed by the cumulative weights.  ``weights=(4, 1, 1)`` puts
+    roughly 2/3 of rows on node 0 — enough to make stragglers visible.
+    """
+
+    weights: tuple[float, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.weights or any(w <= 0 for w in self.weights):
+            raise CatalogError("skewed segmentation requires positive weights")
+
+    def assign(self, batch, row_count, start_rowid, node_count):
+        if len(self.weights) != node_count:
+            raise CatalogError(
+                f"{len(self.weights)} weights but {node_count} nodes"
+            )
+        rowids = np.arange(start_rowid, start_rowid + row_count, dtype=np.int64)
+        uniform = hash64(rowids).astype(np.float64) / float(2**64)
+        cumulative = np.cumsum(self.weights) / float(sum(self.weights))
+        return np.searchsorted(cumulative, uniform, side="right").astype(np.int64)
+
+    def describe(self) -> str:
+        return f"skewed{self.weights}"
+
+
+@dataclass(frozen=True)
+class Unsegmented(SegmentationScheme):
+    """Entire table on a single node (Vertica's UNSEGMENTED projections)."""
+
+    node: int = 0
+
+    def assign(self, batch, row_count, start_rowid, node_count):
+        if not 0 <= self.node < node_count:
+            raise CatalogError(
+                f"unsegmented node {self.node} out of range for {node_count} nodes"
+            )
+        return np.full(row_count, self.node, dtype=np.int64)
+
+    def describe(self) -> str:
+        return f"unsegmented(node {self.node})"

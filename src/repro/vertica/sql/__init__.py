@@ -1,0 +1,7 @@
+"""SQL front end: lexer, AST, and recursive-descent parser."""
+
+from repro.vertica.sql import ast
+from repro.vertica.sql.lexer import Token, TokenType, tokenize
+from repro.vertica.sql.parser import parse, parse_expression
+
+__all__ = ["ast", "tokenize", "Token", "TokenType", "parse", "parse_expression"]

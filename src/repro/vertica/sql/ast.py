@@ -1,0 +1,262 @@
+"""Abstract syntax tree for the SQL subset.
+
+Expression nodes are shared between the parser, the analyzer, and the
+vectorized evaluator in :mod:`repro.vertica.expressions`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "Expr", "ColumnRef", "Literal", "BinaryOp", "UnaryOp", "FunctionCall",
+    "AggregateCall", "InList", "LikeMatch", "Star", "SelectItem", "OrderItem",
+    "PartitionSpec", "PartitionKind", "UdtfCall",
+    "Statement", "Select", "JoinClause", "CreateTable", "ColumnDef", "SegmentationClause",
+    "Insert", "DropTable", "Explain",
+]
+
+
+class Expr:
+    """Base class for expression nodes."""
+
+    def children(self) -> list["Expr"]:
+        return []
+
+    def walk(self):
+        """Yield this node and every descendant."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    qualifier: str | None = None  # table name or alias, e.g. "t" in "t.x"
+
+    @property
+    def key(self) -> str:
+        """Lookup key in an evaluation batch: ``name`` or ``qualifier.name``."""
+        if self.qualifier is None:
+            return self.name
+        return f"{self.qualifier}.{self.name}"
+
+    def __str__(self) -> str:
+        return self.key
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any  # int, float, str, bool, or None
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return "'" + self.value.replace("'", "''") + "'"
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str
+    left: Expr
+    right: Expr
+
+    def children(self) -> list[Expr]:
+        return [self.left, self.right]
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # "-" or "NOT"
+    operand: Expr
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expr):
+    name: str
+    args: tuple[Expr, ...]
+
+    def children(self) -> list[Expr]:
+        return list(self.args)
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(map(str, self.args))})"
+
+
+@dataclass(frozen=True)
+class AggregateCall(Expr):
+    """COUNT/SUM/AVG/MIN/MAX; ``arg`` is None for COUNT(*)."""
+
+    name: str
+    arg: Expr | None
+    distinct: bool = False
+
+    def children(self) -> list[Expr]:
+        return [] if self.arg is None else [self.arg]
+
+    def __str__(self) -> str:
+        inner = "*" if self.arg is None else str(self.arg)
+        if self.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    """``expr IN (literal, ...)``."""
+
+    operand: Expr
+    values: tuple
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        rendered = ", ".join(str(Literal(v)) for v in self.values)
+        return f"({self.operand} IN ({rendered}))"
+
+
+@dataclass(frozen=True)
+class LikeMatch(Expr):
+    """``expr LIKE 'pattern'`` with %% and _ wildcards."""
+
+    operand: Expr
+    pattern: str
+
+    def children(self) -> list[Expr]:
+        return [self.operand]
+
+    def __str__(self) -> str:
+        return f"({self.operand} LIKE {Literal(self.pattern)})"
+
+
+@dataclass(frozen=True)
+class Star(Expr):
+    def __str__(self) -> str:
+        return "*"
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        return str(self.expr)
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+class PartitionKind(enum.Enum):
+    """How a transform UDF's input is partitioned across instances."""
+
+    BY_COLUMN = "by_column"   # PARTITION BY <expr>: co-locate equal keys
+    BEST = "best"             # PARTITION BEST: node-local, planner-chosen fan-out
+    NODES = "nodes"           # PARTITION NODES: exactly one instance per node
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    kind: PartitionKind
+    expr: Expr | None = None  # only for BY_COLUMN
+
+
+@dataclass(frozen=True)
+class UdtfCall:
+    """``func(args USING PARAMETERS k=v, ...) OVER (PARTITION ...)``."""
+
+    name: str
+    args: tuple[Expr, ...]
+    parameters: dict[str, Any] = field(default_factory=dict)
+    partition: PartitionSpec = PartitionSpec(PartitionKind.BEST)
+
+
+class Statement:
+    """Base class for parsed statements."""
+
+
+@dataclass(frozen=True)
+class JoinClause:
+    """``[INNER | LEFT [OUTER]] JOIN table [alias] ON condition``."""
+
+    table: str
+    alias: str | None
+    condition: Expr
+    kind: str = "inner"  # "inner" | "left"
+
+
+@dataclass
+class Select(Statement):
+    items: list[SelectItem]
+    table: str | None
+    table_alias: str | None = None
+    join: "JoinClause | None" = None
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    udtf: UdtfCall | None = None
+    select_star: bool = False
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class ColumnDef:
+    name: str
+    type_name: str
+
+
+@dataclass(frozen=True)
+class SegmentationClause:
+    """``SEGMENTED BY HASH(col) ALL NODES`` or ``UNSEGMENTED``."""
+
+    kind: str  # "hash" | "unsegmented"
+    column: str | None = None
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: list[ColumnDef]
+    segmentation: SegmentationClause | None = None
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    rows: list[list[Any]]
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+    if_exists: bool = False
+
+
+@dataclass
+class Explain(Statement):
+    """``EXPLAIN <select>``: describe the physical plan without running it."""
+
+    query: "Select"

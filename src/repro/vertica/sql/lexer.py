@@ -1,0 +1,146 @@
+"""SQL lexer for the Vertica-subset dialect used by the reproduction.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords are
+case-insensitive; identifiers may be double-quoted to preserve case.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import SqlSyntaxError
+
+__all__ = ["TokenType", "Token", "tokenize", "KEYWORDS"]
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+        "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "TRUE", "FALSE",
+        "ASC", "DESC", "DISTINCT", "BETWEEN", "LIKE",
+        "JOIN", "ON", "INNER", "LEFT", "OUTER",
+        "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "EXPLAIN", "COPY",
+        "SEGMENTED", "UNSEGMENTED", "HASH", "ALL", "NODES",
+        "USING", "PARAMETERS", "OVER", "PARTITION", "BEST",
+        "COUNT", "SUM", "AVG", "MIN", "MAX",
+    }
+)
+
+_OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">", "+", "-", "*", "/", "%", "||")
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source offset (for error messages)."""
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches_keyword(self, *keywords: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in keywords
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql``; raises :class:`SqlSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch == "'":
+            text, i = _read_quoted(sql, i, "'")
+            tokens.append(Token(TokenType.STRING, text, i))
+            continue
+        if ch == '"':
+            text, i = _read_quoted(sql, i, '"')
+            tokens.append(Token(TokenType.IDENT, text, i))
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            i = _scan_number(sql, i)
+            tokens.append(Token(TokenType.NUMBER, sql[start:i], start))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word, start))
+            continue
+        matched_operator = None
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                matched_operator = op
+                break
+        if matched_operator is not None:
+            tokens.append(Token(TokenType.OPERATOR, matched_operator, i))
+            i += len(matched_operator)
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(TokenType.PUNCT, ch, i))
+            i += 1
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_quoted(sql: str, start: int, quote: str) -> tuple[str, int]:
+    """Read a quoted token starting at ``start``; doubled quotes escape."""
+    i = start + 1
+    parts: list[str] = []
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == quote:
+            if i + 1 < n and sql[i + 1] == quote:
+                parts.append(quote)
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise SqlSyntaxError("unterminated quoted token", position=start)
+
+
+def _scan_number(sql: str, i: int) -> int:
+    n = len(sql)
+    while i < n and sql[i].isdigit():
+        i += 1
+    if i < n and sql[i] == ".":
+        i += 1
+        while i < n and sql[i].isdigit():
+            i += 1
+    if i < n and sql[i] in "eE":
+        j = i + 1
+        if j < n and sql[j] in "+-":
+            j += 1
+        if j < n and sql[j].isdigit():
+            i = j
+            while i < n and sql[i].isdigit():
+                i += 1
+    return i

@@ -1,0 +1,511 @@
+"""Recursive-descent parser for the SQL subset.
+
+Supported statements::
+
+    SELECT <items> FROM <table> [WHERE ...] [GROUP BY ...] [HAVING ...]
+        [ORDER BY ...] [LIMIT n]
+    SELECT udtf(args USING PARAMETERS k='v', ...)
+        OVER (PARTITION BY col | PARTITION BEST | PARTITION NODES) FROM <table>
+    CREATE TABLE t (col type, ...) [SEGMENTED BY HASH(col) ALL NODES | UNSEGMENTED]
+    INSERT INTO t VALUES (...), (...)
+    DROP TABLE [IF EXISTS] t
+
+The grammar follows standard SQL precedence: OR < AND < NOT < comparison <
+additive < multiplicative < unary minus.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import SqlSyntaxError
+from repro.vertica.sql import ast
+from repro.vertica.sql.lexer import Token, TokenType, tokenize
+
+__all__ = ["parse", "parse_expression"]
+
+_AGGREGATES = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_COMPARISONS = {"=", "<>", "!=", "<", "<=", ">", ">="}
+
+
+def parse(sql: str) -> ast.Statement:
+    """Parse a single SQL statement."""
+    parser = _Parser(tokenize(sql))
+    stmt = parser.statement()
+    parser.expect_end()
+    return stmt
+
+
+def parse_expression(sql: str) -> ast.Expr:
+    """Parse a standalone scalar expression (used by tests and filters)."""
+    parser = _Parser(tokenize(sql))
+    expr = parser.expression()
+    parser.expect_end()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def check_keyword(self, *keywords: str) -> bool:
+        return self.current.matches_keyword(*keywords)
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        if self.check_keyword(*keywords):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise SqlSyntaxError(
+                f"expected {keyword}, found {self.current.value!r}",
+                position=self.current.position,
+            )
+
+    def accept_punct(self, punct: str) -> bool:
+        token = self.current
+        if token.type is TokenType.PUNCT and token.value == punct:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, punct: str) -> None:
+        if not self.accept_punct(punct):
+            raise SqlSyntaxError(
+                f"expected {punct!r}, found {self.current.value!r}",
+                position=self.current.position,
+            )
+
+    def accept_operator(self, *operators: str) -> str | None:
+        token = self.current
+        if token.type is TokenType.OPERATOR and token.value in operators:
+            self.advance()
+            return token.value
+        return None
+
+    def expect_ident(self, what: str = "identifier") -> str:
+        token = self.current
+        if token.type is TokenType.IDENT:
+            self.advance()
+            return token.value
+        # Allow non-reserved keywords where an identifier is natural
+        # (e.g. a column named "best" would be quoted; keep strict here).
+        raise SqlSyntaxError(
+            f"expected {what}, found {token.value!r}", position=token.position
+        )
+
+    def expect_end(self) -> None:
+        self.accept_punct(";")
+        if self.current.type is not TokenType.EOF:
+            raise SqlSyntaxError(
+                f"trailing input starting at {self.current.value!r}",
+                position=self.current.position,
+            )
+
+    # -- statements ---------------------------------------------------------
+
+    def statement(self) -> ast.Statement:
+        if self.check_keyword("SELECT"):
+            return self.select()
+        if self.check_keyword("CREATE"):
+            return self.create_table()
+        if self.check_keyword("INSERT"):
+            return self.insert()
+        if self.check_keyword("DROP"):
+            return self.drop_table()
+        if self.accept_keyword("EXPLAIN"):
+            inner = self.statement()
+            if not isinstance(inner, ast.Select):
+                raise SqlSyntaxError("EXPLAIN supports SELECT statements only")
+            return ast.Explain(inner)
+        raise SqlSyntaxError(
+            f"expected a statement, found {self.current.value!r}",
+            position=self.current.position,
+        )
+
+    def select(self) -> ast.Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        select_star = False
+        items: list[ast.SelectItem] = []
+        udtf: ast.UdtfCall | None = None
+
+        if self.accept_operator("*"):
+            select_star = True
+        else:
+            first = True
+            while first or self.accept_punct(","):
+                first = False
+                item_or_udtf = self._select_item()
+                if isinstance(item_or_udtf, ast.UdtfCall):
+                    if udtf is not None:
+                        raise SqlSyntaxError("multiple UDTF calls in one SELECT")
+                    udtf = item_or_udtf
+                else:
+                    items.append(item_or_udtf)
+        if udtf is not None and items:
+            raise SqlSyntaxError("a UDTF call cannot be mixed with other select items")
+
+        table = None
+        table_alias = None
+        join = None
+        if self.accept_keyword("FROM"):
+            table = self.expect_ident("table name")
+            if self.current.type is TokenType.IDENT:
+                table_alias = self.advance().value
+            join = self._join_clause()
+        stmt = ast.Select(items=items, table=table, table_alias=table_alias,
+                          join=join, udtf=udtf, select_star=select_star,
+                          distinct=distinct)
+
+        if self.accept_keyword("WHERE"):
+            stmt.where = self.expression()
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            stmt.group_by.append(self.expression())
+            while self.accept_punct(","):
+                stmt.group_by.append(self.expression())
+        if self.accept_keyword("HAVING"):
+            stmt.having = self.expression()
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            stmt.order_by.append(self._order_item())
+            while self.accept_punct(","):
+                stmt.order_by.append(self._order_item())
+        if self.accept_keyword("LIMIT"):
+            token = self.current
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError("LIMIT requires a number", position=token.position)
+            self.advance()
+            stmt.limit = int(float(token.value))
+        return stmt
+
+    def _join_clause(self) -> ast.JoinClause | None:
+        kind = "inner"
+        if self.accept_keyword("LEFT"):
+            self.accept_keyword("OUTER")
+            kind = "left"
+            self.expect_keyword("JOIN")
+        elif self.accept_keyword("INNER"):
+            self.expect_keyword("JOIN")
+        elif not self.accept_keyword("JOIN"):
+            return None
+        table = self.expect_ident("table name")
+        alias = None
+        if self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        self.expect_keyword("ON")
+        condition = self.expression()
+        return ast.JoinClause(table=table, alias=alias, condition=condition,
+                              kind=kind)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return ast.OrderItem(expr, ascending)
+
+    def _select_item(self) -> ast.SelectItem | ast.UdtfCall:
+        # Look ahead for "ident (" that might be a UDTF (decided by the
+        # presence of USING PARAMETERS or an OVER clause after the call).
+        expr = self.expression()
+        if isinstance(expr, ast.FunctionCall) and (
+            self.check_keyword("OVER") or getattr(expr, "_udtf_params", None) is not None
+        ):
+            params = getattr(expr, "_udtf_params", None) or {}
+            partition = self._over_clause()
+            return ast.UdtfCall(
+                name=expr.name, args=expr.args, parameters=params, partition=partition
+            )
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident("alias")
+        elif self.current.type is TokenType.IDENT:
+            alias = self.advance().value
+        return ast.SelectItem(expr, alias)
+
+    def _over_clause(self) -> ast.PartitionSpec:
+        self.expect_keyword("OVER")
+        self.expect_punct("(")
+        spec = ast.PartitionSpec(ast.PartitionKind.BEST)
+        if self.accept_keyword("PARTITION"):
+            if self.accept_keyword("BEST"):
+                spec = ast.PartitionSpec(ast.PartitionKind.BEST)
+            elif self.accept_keyword("NODES"):
+                spec = ast.PartitionSpec(ast.PartitionKind.NODES)
+            elif self.accept_keyword("BY"):
+                spec = ast.PartitionSpec(ast.PartitionKind.BY_COLUMN, self.expression())
+            else:
+                raise SqlSyntaxError(
+                    "expected BEST, NODES, or BY after PARTITION",
+                    position=self.current.position,
+                )
+        self.expect_punct(")")
+        return spec
+
+    def create_table(self) -> ast.CreateTable:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        name = self.expect_ident("table name")
+        self.expect_punct("(")
+        columns = [self._column_def()]
+        while self.accept_punct(","):
+            columns.append(self._column_def())
+        self.expect_punct(")")
+        segmentation = None
+        if self.accept_keyword("SEGMENTED"):
+            self.expect_keyword("BY")
+            self.expect_keyword("HASH")
+            self.expect_punct("(")
+            column = self.expect_ident("segmentation column")
+            self.expect_punct(")")
+            self.expect_keyword("ALL")
+            self.expect_keyword("NODES")
+            segmentation = ast.SegmentationClause("hash", column)
+        elif self.accept_keyword("UNSEGMENTED"):
+            segmentation = ast.SegmentationClause("unsegmented")
+        return ast.CreateTable(name, columns, segmentation)
+
+    def _column_def(self) -> ast.ColumnDef:
+        name = self.expect_ident("column name")
+        type_parts = [self.expect_ident("type name")]
+        # allow multi-word types like DOUBLE PRECISION
+        while self.current.type is TokenType.IDENT:
+            type_parts.append(self.advance().value)
+        return ast.ColumnDef(name, " ".join(type_parts))
+
+    def insert(self) -> ast.Insert:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_ident("table name")
+        self.expect_keyword("VALUES")
+        rows = [self._value_row()]
+        while self.accept_punct(","):
+            rows.append(self._value_row())
+        return ast.Insert(table, rows)
+
+    def _value_row(self) -> list[Any]:
+        self.expect_punct("(")
+        values = [self._literal_value()]
+        while self.accept_punct(","):
+            values.append(self._literal_value())
+        self.expect_punct(")")
+        return values
+
+    def _literal_value(self) -> Any:
+        expr = self.expression()
+        return _fold_literal(expr)
+
+    def drop_table(self) -> ast.DropTable:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        # "IF EXISTS" arrives as two identifiers since IF/EXISTS are not keywords.
+        if self.current.type is TokenType.IDENT and self.current.value.upper() == "IF":
+            self.advance()
+            nxt = self.advance()
+            if nxt.value.upper() != "EXISTS":
+                raise SqlSyntaxError("expected EXISTS after IF", position=nxt.position)
+            if_exists = True
+        name = self.expect_ident("table name")
+        return ast.DropTable(name, if_exists)
+
+    # -- expressions (precedence climbing) -----------------------------------
+
+    def expression(self) -> ast.Expr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.Expr:
+        left = self._and_expr()
+        while self.accept_keyword("OR"):
+            left = ast.BinaryOp("OR", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.Expr:
+        left = self._not_expr()
+        while self.accept_keyword("AND"):
+            left = ast.BinaryOp("AND", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.Expr:
+        if self.accept_keyword("NOT"):
+            return ast.UnaryOp("NOT", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self) -> ast.Expr:
+        left = self._additive()
+        op = self.accept_operator(*_COMPARISONS)
+        if op is not None:
+            normalized = "<>" if op == "!=" else op
+            return ast.BinaryOp(normalized, left, self._additive())
+        if self.accept_keyword("IS"):
+            negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            node: ast.Expr = ast.FunctionCall("is_null", (left,))
+            return ast.UnaryOp("NOT", node) if negated else node
+        if self.accept_keyword("BETWEEN"):
+            low = self._additive()
+            self.expect_keyword("AND")
+            high = self._additive()
+            return ast.BinaryOp(
+                "AND",
+                ast.BinaryOp(">=", left, low),
+                ast.BinaryOp("<=", left, high),
+            )
+        negated = self.accept_keyword("NOT")
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            values = [self._literal_value()]
+            while self.accept_punct(","):
+                values.append(self._literal_value())
+            self.expect_punct(")")
+            node: ast.Expr = ast.InList(left, tuple(values))
+            return ast.UnaryOp("NOT", node) if negated else node
+        if self.accept_keyword("LIKE"):
+            pattern = self.current
+            if pattern.type is not TokenType.STRING:
+                raise SqlSyntaxError("LIKE requires a string pattern",
+                                     position=pattern.position)
+            self.advance()
+            node = ast.LikeMatch(left, pattern.value)
+            return ast.UnaryOp("NOT", node) if negated else node
+        if negated:
+            raise SqlSyntaxError(
+                "expected IN or LIKE after NOT in a comparison",
+                position=self.current.position,
+            )
+        return left
+
+    def _additive(self) -> ast.Expr:
+        left = self._multiplicative()
+        while True:
+            op = self.accept_operator("+", "-", "||")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> ast.Expr:
+        left = self._unary()
+        while True:
+            op = self.accept_operator("*", "/", "%")
+            if op is None:
+                return left
+            left = ast.BinaryOp(op, left, self._unary())
+
+    def _unary(self) -> ast.Expr:
+        if self.accept_operator("-"):
+            return ast.UnaryOp("-", self._unary())
+        if self.accept_operator("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.Expr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            text = token.value
+            value = float(text) if any(c in text for c in ".eE") else int(text)
+            return ast.Literal(value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.matches_keyword("TRUE"):
+            self.advance()
+            return ast.Literal(True)
+        if token.matches_keyword("FALSE"):
+            self.advance()
+            return ast.Literal(False)
+        if token.matches_keyword("NULL"):
+            self.advance()
+            return ast.Literal(None)
+        if token.matches_keyword(*_AGGREGATES):
+            self.advance()
+            return self._aggregate(token.value)
+        if token.type is TokenType.IDENT:
+            self.advance()
+            if self.accept_punct("("):
+                return self._call(token.value)
+            if self.accept_punct("."):
+                column = self.expect_ident("column name")
+                return ast.ColumnRef(column, qualifier=token.value)
+            return ast.ColumnRef(token.value)
+        if self.accept_punct("("):
+            expr = self.expression()
+            self.expect_punct(")")
+            return expr
+        raise SqlSyntaxError(
+            f"expected an expression, found {token.value!r}", position=token.position
+        )
+
+    def _aggregate(self, name: str) -> ast.Expr:
+        self.expect_punct("(")
+        distinct = self.accept_keyword("DISTINCT")
+        if name == "COUNT" and self.accept_operator("*"):
+            self.expect_punct(")")
+            return ast.AggregateCall("COUNT", None, distinct)
+        arg = self.expression()
+        self.expect_punct(")")
+        return ast.AggregateCall(name, arg, distinct)
+
+    def _call(self, name: str) -> ast.Expr:
+        """Parse a call after the opening paren; may carry UDTF parameters."""
+        args: list[ast.Expr] = []
+        params: dict[str, Any] | None = None
+        if not self.accept_punct(")"):
+            if not self.check_keyword("USING"):
+                args.append(self.expression())
+                while self.accept_punct(","):
+                    args.append(self.expression())
+            if self.accept_keyword("USING"):
+                self.expect_keyword("PARAMETERS")
+                params = {}
+                key = self.expect_ident("parameter name")
+                self._expect_eq()
+                params[key] = _fold_literal(self.expression())
+                while self.accept_punct(","):
+                    key = self.expect_ident("parameter name")
+                    self._expect_eq()
+                    params[key] = _fold_literal(self.expression())
+            self.expect_punct(")")
+        call = ast.FunctionCall(name.lower(), tuple(args))
+        if params is not None:
+            # Stash UDTF parameters on the node; _select_item turns this into
+            # a UdtfCall when it sees the OVER clause.
+            object.__setattr__(call, "_udtf_params", params)
+        return call
+
+    def _expect_eq(self) -> None:
+        if self.accept_operator("=") is None:
+            raise SqlSyntaxError(
+                f"expected '=', found {self.current.value!r}",
+                position=self.current.position,
+            )
+
+
+def _fold_literal(expr: ast.Expr) -> Any:
+    """Reduce a constant expression to a Python value (for VALUES/params)."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.UnaryOp) and expr.op == "-":
+        inner = _fold_literal(expr.operand)
+        if isinstance(inner, (int, float)):
+            return -inner
+    raise SqlSyntaxError(f"expected a literal value, found {expr}")

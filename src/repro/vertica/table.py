@@ -1,0 +1,373 @@
+"""Tables and their per-node segments.
+
+A :class:`Table` is a schema plus a segmentation scheme plus one
+:class:`Segment` per database node.  Inserted batches are routed to segments
+row-by-row by the segmentation scheme; each segment stores row groups either
+in memory (the default, for fast tests) or as real on-disk segment files
+(used by benchmarks that charge file-system reads).
+
+Every row also carries a hidden global row id (``_rowid``) assigned at insert
+time.  Global row ids are what the ODBC path's ordered range fetches filter
+on — the operation that destroys locality, as §3 of the paper describes.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import CatalogError, StorageError
+from repro.storage.encoding import ColumnSchema, SqlType, coerce_to_dtype
+from repro.storage.files import SegmentFile, SegmentFileWriter
+from repro.storage.rowgroup import RowGroup
+from repro.vertica.segmentation import SegmentationScheme
+
+__all__ = ["Table", "Segment", "ROWID_COLUMN"]
+
+ROWID_COLUMN = "_rowid"
+DEFAULT_ROWGROUP_ROWS = 65_536
+
+
+class Segment:
+    """One node's slice of a table: an append-only list of row groups."""
+
+    def __init__(
+        self,
+        table_name: str,
+        node_index: int,
+        schema: list[ColumnSchema],
+        data_dir: Path | None = None,
+        codec: str = "zlib",
+    ) -> None:
+        self.table_name = table_name
+        self.node_index = node_index
+        self.schema = list(schema)
+        self.codec = codec
+        self._memory_rowgroups: list[RowGroup] = []
+        self._files: list[SegmentFile] = []
+        self._data_dir = data_dir
+        self._file_counter = 0
+        if data_dir is not None:
+            data_dir.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def on_disk(self) -> bool:
+        return self._data_dir is not None
+
+    @property
+    def row_count(self) -> int:
+        memory_rows = sum(rg.row_count for rg in self._memory_rowgroups)
+        disk_rows = sum(f.row_count for f in self._files)
+        return memory_rows + disk_rows
+
+    @property
+    def rowgroup_count(self) -> int:
+        return len(self._memory_rowgroups) + sum(f.rowgroup_count for f in self._files)
+
+    @property
+    def compressed_size(self) -> int:
+        """Approximate on-disk footprint of this segment in bytes."""
+        memory = sum(rg.compressed_size for rg in self._memory_rowgroups)
+        disk = sum(f.file_size for f in self._files)
+        return memory + disk
+
+    def append(self, arrays: dict[str, np.ndarray]) -> None:
+        """Append one batch (already routed to this segment) as row groups."""
+        if not arrays:
+            return
+        lengths = {len(np.asarray(a)) for a in arrays.values()}
+        if len(lengths) != 1:
+            raise StorageError("ragged arrays appended to segment")
+        (rows,) = lengths
+        if rows == 0:
+            return
+        rowgroups = []
+        for start in range(0, rows, DEFAULT_ROWGROUP_ROWS):
+            stop = min(start + DEFAULT_ROWGROUP_ROWS, rows)
+            chunk = {name: np.asarray(arr)[start:stop] for name, arr in arrays.items()}
+            rowgroups.append(RowGroup.from_arrays(self.schema, chunk, codec=self.codec))
+        if self.on_disk:
+            path = self._data_dir / f"{self.table_name}.seg{self._file_counter:06d}.bin"
+            self._file_counter += 1
+            with SegmentFileWriter(path, self.schema) as writer:
+                for rowgroup in rowgroups:
+                    writer.append(rowgroup)
+            self._files.append(SegmentFile(path))
+        else:
+            self._memory_rowgroups.extend(rowgroups)
+
+    def iter_rowgroups(self, columns: list[str] | None = None) -> Iterator[RowGroup]:
+        """Yield row groups; disk-backed groups are read from their files."""
+        yield from self._memory_rowgroups
+        for segment_file in self._files:
+            yield from segment_file.iter_rowgroups(columns)
+
+    def read_columns(self, columns: list[str] | None = None,
+                     ranges: dict | None = None,
+                     prune_counter=None) -> dict[str, np.ndarray]:
+        """Materialize the segment (the given columns) as arrays.
+
+        ``ranges`` maps column names to
+        :class:`~repro.vertica.pruning.ColumnRange` envelopes; row groups
+        whose zone maps exclude any constrained column are skipped without
+        decompressing a single block (``prune_counter`` is called with the
+        number of skipped row groups).
+        """
+        names = columns if columns is not None else [c.name for c in self.schema]
+        constrained = self._constrained_columns(ranges)
+        pieces: dict[str, list[np.ndarray]] = {name: [] for name in names}
+        pruned = 0
+        for rowgroup in self._memory_rowgroups:
+            if constrained and not self._zone_maps_match(
+                    rowgroup.block, constrained, ranges):
+                pruned += 1
+                continue
+            decoded = rowgroup.read(names)
+            for name in names:
+                pieces[name].append(decoded[name])
+        for segment_file in self._files:
+            for index in range(segment_file.rowgroup_count):
+                if constrained and not self._zone_maps_match(
+                        lambda col, i=index, f=segment_file: f.read_block(i, col),
+                        constrained, ranges):
+                    pruned += 1
+                    continue
+                decoded = segment_file.read_rowgroup(index, names).read(names)
+                for name in names:
+                    pieces[name].append(decoded[name])
+        if pruned and prune_counter is not None:
+            prune_counter(pruned)
+        out = {}
+        for name in names:
+            schema_col = self._schema_column(name)
+            if pieces[name]:
+                out[name] = np.concatenate(pieces[name])
+            else:
+                out[name] = np.empty(0, dtype=schema_col.numpy_dtype)
+        return out
+
+    def _constrained_columns(self, ranges: dict | None) -> list[str]:
+        """The subset of range constraints that name columns of this segment."""
+        if not ranges:
+            return []
+        schema_names = {c.name for c in self.schema}
+        return [name for name in ranges if name in schema_names]
+
+    @staticmethod
+    def _zone_maps_match(block_for, constrained: list[str], ranges: dict) -> bool:
+        """False when any constrained column's zone map excludes the range."""
+        for name in constrained:
+            envelope = ranges[name]
+            block = block_for(name)
+            if not block.might_contain(envelope.low, envelope.high):
+                return False
+        return True
+
+    def _schema_column(self, name: str) -> ColumnSchema:
+        for column in self.schema:
+            if column.name == name:
+                return column
+        raise StorageError(f"segment schema has no column {name!r}")
+
+
+class Table:
+    """A segmented, columnar table."""
+
+    def __init__(
+        self,
+        name: str,
+        schema: list[ColumnSchema],
+        segmentation: SegmentationScheme,
+        node_count: int,
+        data_dir: Path | None = None,
+        codec: str = "zlib",
+        k_safety: int = 0,
+    ) -> None:
+        if not schema:
+            raise CatalogError(f"table {name!r} requires at least one column")
+        names = [c.name for c in schema]
+        if len(set(names)) != len(names):
+            raise CatalogError(f"duplicate column names in table {name!r}: {names}")
+        if ROWID_COLUMN in names:
+            raise CatalogError(f"column name {ROWID_COLUMN!r} is reserved")
+        self.name = name
+        self.user_schema = list(schema)
+        # The stored schema appends the hidden global rowid column.
+        self.stored_schema = list(schema) + [
+            ColumnSchema(ROWID_COLUMN, SqlType.INTEGER)
+        ]
+        self.segmentation = segmentation
+        self.node_count = node_count
+        self._lock = threading.Lock()
+        self._next_rowid = 0
+        if k_safety not in (0, 1):
+            raise CatalogError(f"k_safety must be 0 or 1, got {k_safety}")
+        if k_safety == 1 and node_count < 2:
+            raise CatalogError("k_safety=1 requires at least 2 nodes")
+        self.k_safety = k_safety
+        self.segments = [
+            Segment(
+                name,
+                node,
+                self.stored_schema,
+                data_dir=(data_dir / f"node{node:02d}" if data_dir else None),
+                codec=codec,
+            )
+            for node in range(node_count)
+        ]
+        # Buddy projections (Vertica's k-safety): segment i's replica lives
+        # on node (i + 1) % n, so any single node failure loses no data.
+        self.buddy_segments: list[Segment] | None = None
+        if k_safety == 1:
+            self.buddy_segments = [
+                Segment(
+                    f"{name}_buddy",
+                    (node + 1) % node_count,
+                    self.stored_schema,
+                    data_dir=(
+                        data_dir / f"node{(node + 1) % node_count:02d}"
+                        if data_dir else None
+                    ),
+                    codec=codec,
+                )
+                for node in range(node_count)
+            ]
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.user_schema]
+
+    @property
+    def row_count(self) -> int:
+        return sum(segment.row_count for segment in self.segments)
+
+    @property
+    def compressed_size(self) -> int:
+        return sum(segment.compressed_size for segment in self.segments)
+
+    def column(self, name: str) -> ColumnSchema:
+        for column in self.user_schema:
+            if column.name == name:
+                return column
+        raise CatalogError(f"table {self.name!r} has no column {name!r}")
+
+    def has_column(self, name: str) -> bool:
+        return any(c.name == name for c in self.user_schema)
+
+    def insert(self, arrays: dict[str, np.ndarray]) -> int:
+        """Insert a batch of rows given as per-column arrays.
+
+        Returns the number of rows inserted.  Thread-safe; rows receive
+        consecutive global row ids in insertion order.
+        """
+        missing = [c.name for c in self.user_schema if c.name not in arrays]
+        if missing:
+            raise CatalogError(f"insert into {self.name!r} missing columns {missing}")
+        extra = [k for k in arrays if not self.has_column(k)]
+        if extra:
+            raise CatalogError(f"insert into {self.name!r} has unknown columns {extra}")
+        coerced = {
+            c.name: coerce_to_dtype(np.atleast_1d(np.asarray(arrays[c.name])), c.sql_type)
+            for c in self.user_schema
+        }
+        lengths = {name: len(arr) for name, arr in coerced.items()}
+        if len(set(lengths.values())) != 1:
+            raise CatalogError(f"ragged insert into {self.name!r}: {lengths}")
+        rows = next(iter(lengths.values()))
+        if rows == 0:
+            return 0
+        with self._lock:
+            start_rowid = self._next_rowid
+            self._next_rowid += rows
+        assignment = self.segmentation.assign(
+            coerced, rows, start_rowid, self.node_count
+        )
+        assignment = np.asarray(assignment, dtype=np.int64)
+        if assignment.shape != (rows,):
+            raise CatalogError("segmentation returned a malformed assignment")
+        if ((assignment < 0) | (assignment >= self.node_count)).any():
+            raise CatalogError("segmentation assigned a row to a nonexistent node")
+        rowids = np.arange(start_rowid, start_rowid + rows, dtype=np.int64)
+        for node in range(self.node_count):
+            mask = assignment == node
+            if not mask.any():
+                continue
+            batch = {name: arr[mask] for name, arr in coerced.items()}
+            batch[ROWID_COLUMN] = rowids[mask]
+            self.segments[node].append(batch)
+            if self.buddy_segments is not None:
+                self.buddy_segments[node].append(batch)
+        return rows
+
+    def insert_rows(self, rows: list[list]) -> int:
+        """Insert rows given positionally (INSERT ... VALUES path)."""
+        if not rows:
+            return 0
+        width = len(self.user_schema)
+        for row in rows:
+            if len(row) != width:
+                raise CatalogError(
+                    f"row has {len(row)} values, table {self.name!r} has {width} columns"
+                )
+        arrays = {}
+        for i, column in enumerate(self.user_schema):
+            values = [row[i] for row in rows]
+            if column.sql_type is SqlType.VARCHAR:
+                arrays[column.name] = np.asarray(values, dtype=object)
+            else:
+                arrays[column.name] = np.asarray(values)
+        return self.insert(arrays)
+
+    def segment_row_counts(self) -> list[int]:
+        """Rows per node segment — the distribution VFT's locality policy
+        mirrors into Distributed R partitions."""
+        return [segment.row_count for segment in self.segments]
+
+    def scan_node(
+        self, node: int, columns: list[str] | None = None,
+        include_rowid: bool = False, ranges: dict | None = None,
+        prune_counter=None,
+    ) -> dict[str, np.ndarray]:
+        """Read one node's segment (used by UDF fan-out and transfers),
+        optionally pruning row groups via zone maps (``ranges``)."""
+        names = columns if columns is not None else self.column_names
+        read_names = list(names)
+        if include_rowid:
+            read_names.append(ROWID_COLUMN)
+        return self.segments[node].read_columns(
+            read_names, ranges=ranges, prune_counter=prune_counter)
+
+    def buddy_host(self, node: int) -> int | None:
+        """Node holding the buddy replica of ``node``'s segment (k-safety)."""
+        if self.buddy_segments is None:
+            return None
+        return (node + 1) % self.node_count
+
+    def scan_node_replica(
+        self, node: int, columns: list[str] | None = None,
+        include_rowid: bool = False, ranges: dict | None = None,
+        prune_counter=None,
+    ) -> dict[str, np.ndarray]:
+        """Read the buddy replica of ``node``'s segment."""
+        if self.buddy_segments is None:
+            raise CatalogError(
+                f"table {self.name!r} has no buddy projections (k_safety=0)"
+            )
+        names = columns if columns is not None else self.column_names
+        read_names = list(names)
+        if include_rowid:
+            read_names.append(ROWID_COLUMN)
+        return self.buddy_segments[node].read_columns(
+            read_names, ranges=ranges, prune_counter=prune_counter)
+
+    def scan_all(self, columns: list[str] | None = None) -> dict[str, np.ndarray]:
+        """Read the whole table, in arbitrary (segment) order."""
+        names = columns if columns is not None else self.column_names
+        parts = [self.scan_node(node, names) for node in range(self.node_count)]
+        return {
+            name: np.concatenate([p[name] for p in parts]) if parts else np.empty(0)
+            for name in names
+        }

@@ -1,0 +1,57 @@
+"""Cluster telemetry: counters for bytes scanned, decompressed, shipped.
+
+The functional layer records *what work happened* (rows, bytes, connections,
+stream counts); the performance model consumes these counters to replay the
+same workload at paper scale.  Counters are cheap (dict increments) and
+thread-safe, because scans and UDF instances run on a thread pool.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Thread-safe named counters plus a bounded event log."""
+
+    def __init__(self, max_events: int = 10_000) -> None:
+        self._lock = threading.Lock()
+        self._counters: defaultdict[str, float] = defaultdict(float)
+        self._events: list[tuple[str, dict]] = []
+        self._max_events = max_events
+
+    def add(self, counter: str, amount: float = 1.0) -> None:
+        """Increment ``counter`` by ``amount``."""
+        with self._lock:
+            self._counters[counter] += amount
+
+    def get(self, counter: str) -> float:
+        """Current value of ``counter`` (0.0 if never incremented)."""
+        with self._lock:
+            return self._counters.get(counter, 0.0)
+
+    def snapshot(self) -> dict[str, float]:
+        """Copy of all counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def record_event(self, kind: str, **fields) -> None:
+        """Append a structured event (drops oldest beyond the cap)."""
+        with self._lock:
+            self._events.append((kind, fields))
+            if len(self._events) > self._max_events:
+                del self._events[: len(self._events) - self._max_events]
+
+    def events(self, kind: str | None = None) -> list[tuple[str, dict]]:
+        with self._lock:
+            if kind is None:
+                return list(self._events)
+            return [e for e in self._events if e[0] == kind]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._events.clear()

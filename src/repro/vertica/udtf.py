@@ -1,0 +1,108 @@
+"""User-defined transform function (UDTF) framework.
+
+Vertica's integration points in the paper are all transform functions:
+``ExportToDistributedR`` starts VFT streams, ``KmeansPredict`` / ``GlmPredict``
+score tables, and "users have the flexibility to create their own prediction
+functions for custom models and register them with Vertica" (§5).
+
+A transform function receives one *partition* of input rows (as column
+arrays) plus the ``USING PARAMETERS`` dict, and emits output column arrays.
+The executor fans instances out across nodes according to the query's
+``OVER (PARTITION ...)`` clause and merges their outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable, Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError
+from repro.storage.encoding import ColumnSchema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vertica.cluster import VerticaCluster
+
+__all__ = ["UdtfContext", "TransformFunction", "FunctionBasedUdtf"]
+
+
+@dataclass
+class UdtfContext:
+    """Execution context handed to each UDTF instance.
+
+    ``node_index``/``instance_index`` identify where this instance runs (the
+    prediction functions use ``node_index`` to prefer the local DFS model
+    replica); ``cluster`` exposes database services.
+    """
+
+    cluster: "VerticaCluster"
+    node_index: int
+    instance_index: int
+    instance_count: int
+    session_user: str = "dbadmin"
+
+    def read_dfs(self, path: str) -> bytes:
+        """Read a DFS file, preferring the replica on this node."""
+        return self.cluster.dfs.read(path, from_node=self.node_index)
+
+
+class TransformFunction:
+    """Base class for transform functions.
+
+    Subclasses set :attr:`name`, implement :meth:`process`, and may override
+    :meth:`output_schema` to declare output columns (otherwise they are
+    inferred from the first non-empty output batch).
+    """
+
+    name: str = ""
+
+    def output_schema(self, params: Mapping[str, Any]) -> list[ColumnSchema] | None:
+        """Declared output columns, or ``None`` to infer from outputs."""
+        return None
+
+    def process(
+        self,
+        ctx: UdtfContext,
+        args: dict[str, np.ndarray],
+        params: Mapping[str, Any],
+    ) -> dict[str, np.ndarray] | None:
+        """Consume one input partition; return output columns (or ``None``).
+
+        ``args`` maps *argument position names* (``arg0``, ``arg1``, … or the
+        source column names when arguments are plain column references) to
+        equal-length arrays.
+        """
+        raise NotImplementedError
+
+    def validate_output(self, output: dict[str, np.ndarray] | None) -> None:
+        if output is None:
+            return
+        lengths = {name: len(np.atleast_1d(np.asarray(arr))) for name, arr in output.items()}
+        if lengths and len(set(lengths.values())) != 1:
+            raise ExecutionError(
+                f"UDTF {self.name!r} produced ragged output columns: {lengths}"
+            )
+
+
+class FunctionBasedUdtf(TransformFunction):
+    """Adapter wrapping a plain callable as a transform function."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[UdtfContext, dict[str, np.ndarray], Mapping[str, Any]],
+                     dict[str, np.ndarray] | None],
+        output_columns: list[ColumnSchema] | None = None,
+    ) -> None:
+        if not name:
+            raise ExecutionError("transform function requires a name")
+        self.name = name
+        self._fn = fn
+        self._output_columns = output_columns
+
+    def output_schema(self, params: Mapping[str, Any]) -> list[ColumnSchema] | None:
+        return self._output_columns
+
+    def process(self, ctx, args, params):
+        return self._fn(ctx, args, params)

@@ -1,0 +1,24 @@
+"""Synthetic workload generators matching the paper's methodology (§7)."""
+
+from repro.workloads.clusters import ClusterDataset, make_blobs
+from repro.workloads.regression import (
+    RegressionDataset,
+    make_classification,
+    make_regression,
+)
+from repro.workloads.tables import (
+    load_cluster_table,
+    load_regression_table,
+    make_prediction_table,
+)
+
+__all__ = [
+    "make_regression",
+    "make_classification",
+    "RegressionDataset",
+    "make_blobs",
+    "ClusterDataset",
+    "load_regression_table",
+    "load_cluster_table",
+    "make_prediction_table",
+]

@@ -1,0 +1,68 @@
+"""Synthetic clustering workloads (the K-means experiments of §7).
+
+The paper clusters "1 million points, each with 100 features" into K=1000
+groups; :func:`make_blobs` generates the scaled-down analog: Gaussian blobs
+around known centers so assignments can be validated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["ClusterDataset", "make_blobs"]
+
+
+@dataclass
+class ClusterDataset:
+    """Points, their true labels, and the generating centers."""
+
+    points: np.ndarray        # (n, d)
+    labels: np.ndarray        # (n,)
+    centers: np.ndarray       # (k, d)
+    spread: float
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.points)
+
+    @property
+    def n_features(self) -> int:
+        return self.points.shape[1]
+
+    @property
+    def k(self) -> int:
+        return len(self.centers)
+
+    def as_table_columns(self, feature_prefix: str = "f") -> dict[str, np.ndarray]:
+        """Column dict ready for ``VerticaCluster.bulk_load``."""
+        return {
+            f"{feature_prefix}{j}": self.points[:, j]
+            for j in range(self.n_features)
+        }
+
+    def feature_names(self, feature_prefix: str = "f") -> list[str]:
+        return [f"{feature_prefix}{j}" for j in range(self.n_features)]
+
+
+def make_blobs(
+    n_rows: int,
+    n_features: int,
+    k: int,
+    spread: float = 0.3,
+    center_box: float = 10.0,
+    seed: int = 0,
+) -> ClusterDataset:
+    """Gaussian blobs around ``k`` uniformly-placed centers."""
+    if n_rows < k:
+        raise ModelError(f"need at least {k} rows for {k} clusters")
+    if n_features < 1 or k < 1:
+        raise ModelError("dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-center_box, center_box, size=(k, n_features))
+    labels = rng.integers(0, k, size=n_rows)
+    points = centers[labels] + rng.normal(scale=spread, size=(n_rows, n_features))
+    return ClusterDataset(points=points, labels=labels, centers=centers, spread=spread)

@@ -1,0 +1,105 @@
+"""Synthetic regression workloads (paper §7.3.1 methodology).
+
+"we synthetically generated datasets by creating vectors around coefficients
+that we expect to fit the data. This methodology ensures that we can check
+for accuracy of the answers by Distributed R."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+__all__ = ["RegressionDataset", "make_regression", "make_classification"]
+
+
+@dataclass
+class RegressionDataset:
+    """Features, responses, and the ground-truth coefficients."""
+
+    features: np.ndarray          # (n, p)
+    responses: np.ndarray         # (n,)
+    true_coefficients: np.ndarray  # (p,)
+    true_intercept: float
+    noise_scale: float
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.features)
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    def as_table_columns(self, response_name: str = "y",
+                         feature_prefix: str = "x") -> dict[str, np.ndarray]:
+        """Column dict ready for ``VerticaCluster.bulk_load``."""
+        columns = {response_name: self.responses}
+        for j in range(self.n_features):
+            columns[f"{feature_prefix}{j}"] = self.features[:, j]
+        return columns
+
+    def feature_names(self, feature_prefix: str = "x") -> list[str]:
+        return [f"{feature_prefix}{j}" for j in range(self.n_features)]
+
+
+def make_regression(
+    n_rows: int,
+    n_features: int,
+    noise_scale: float = 0.1,
+    intercept: float = 1.0,
+    coefficients: np.ndarray | None = None,
+    seed: int = 0,
+) -> RegressionDataset:
+    """Gaussian features around known coefficients: ``y = a + Xb + e``."""
+    if n_rows < 1 or n_features < 1:
+        raise ModelError("dataset dimensions must be positive")
+    rng = np.random.default_rng(seed)
+    if coefficients is None:
+        coefficients = rng.uniform(-2.0, 2.0, size=n_features)
+    else:
+        coefficients = np.asarray(coefficients, dtype=np.float64)
+        if coefficients.shape != (n_features,):
+            raise ModelError(
+                f"coefficients must have shape ({n_features},), got "
+                f"{coefficients.shape}"
+            )
+    features = rng.normal(size=(n_rows, n_features))
+    noise = rng.normal(scale=noise_scale, size=n_rows) if noise_scale > 0 else 0.0
+    responses = intercept + features @ coefficients + noise
+    return RegressionDataset(
+        features=features,
+        responses=responses,
+        true_coefficients=coefficients,
+        true_intercept=intercept,
+        noise_scale=noise_scale,
+    )
+
+
+def make_classification(
+    n_rows: int,
+    n_features: int,
+    intercept: float = 0.0,
+    coefficients: np.ndarray | None = None,
+    seed: int = 0,
+) -> RegressionDataset:
+    """Logistic-model labels around known coefficients (for ``hpdglm``
+    with ``family="binomial"``); responses are 0/1."""
+    base = make_regression(
+        n_rows, n_features, noise_scale=0.0, intercept=intercept,
+        coefficients=coefficients, seed=seed,
+    )
+    rng = np.random.default_rng(seed + 1)
+    logits = base.responses
+    probabilities = 1.0 / (1.0 + np.exp(-logits))
+    labels = (rng.random(n_rows) < probabilities).astype(np.int64)
+    return RegressionDataset(
+        features=base.features,
+        responses=labels,
+        true_coefficients=base.true_coefficients,
+        true_intercept=intercept,
+        noise_scale=0.0,
+    )

@@ -1,0 +1,83 @@
+"""Loading synthetic workloads into database tables.
+
+The prediction experiments (Figs 15–16) "populate tables with six columns
+and up to a billion rows"; :func:`make_prediction_table` builds the
+scaled-down analog, and the other helpers wire the generators into tables
+with a chosen segmentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.vertica.cluster import VerticaCluster
+from repro.vertica.segmentation import HashSegmentation, SegmentationScheme
+from repro.workloads.clusters import ClusterDataset
+from repro.workloads.regression import RegressionDataset
+
+__all__ = [
+    "load_regression_table",
+    "load_cluster_table",
+    "make_prediction_table",
+]
+
+
+def load_regression_table(
+    cluster: VerticaCluster,
+    table_name: str,
+    dataset: RegressionDataset,
+    segmentation: SegmentationScheme | None = None,
+    key_column: bool = True,
+    seed: int = 0,
+) -> list[str]:
+    """Create and load a table from a regression dataset.
+
+    Returns the feature column names.  With ``key_column=True`` a random
+    integer key is added and used for hash segmentation (matching the
+    enterprise ETL pattern of §2).
+    """
+    columns = dataset.as_table_columns()
+    if key_column:
+        rng = np.random.default_rng(seed)
+        columns = {"k": rng.integers(0, 2**31, size=dataset.n_rows), **columns}
+        segmentation = segmentation or HashSegmentation("k")
+    cluster.create_table_like(table_name, columns, segmentation)
+    cluster.bulk_load(table_name, columns)
+    return dataset.feature_names()
+
+
+def load_cluster_table(
+    cluster: VerticaCluster,
+    table_name: str,
+    dataset: ClusterDataset,
+    segmentation: SegmentationScheme | None = None,
+    key_column: bool = True,
+    seed: int = 0,
+) -> list[str]:
+    """Create and load a table from a clustering dataset."""
+    columns = dataset.as_table_columns()
+    if key_column:
+        rng = np.random.default_rng(seed)
+        columns = {"k": rng.integers(0, 2**31, size=dataset.n_rows), **columns}
+        segmentation = segmentation or HashSegmentation("k")
+    cluster.create_table_like(table_name, columns, segmentation)
+    cluster.bulk_load(table_name, columns)
+    return dataset.feature_names()
+
+
+def make_prediction_table(
+    cluster: VerticaCluster,
+    table_name: str,
+    n_rows: int,
+    n_features: int = 6,
+    seed: int = 0,
+) -> list[str]:
+    """The Figs 15/16 scoring table: ``n_features`` numeric columns."""
+    rng = np.random.default_rng(seed)
+    columns = {
+        "k": rng.integers(0, 2**31, size=n_rows),
+        **{f"c{j}": rng.normal(size=n_rows) for j in range(n_features)},
+    }
+    cluster.create_table_like(table_name, columns, HashSegmentation("k"))
+    cluster.bulk_load(table_name, columns)
+    return [f"c{j}" for j in range(n_features)]

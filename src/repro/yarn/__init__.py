@@ -1,0 +1,32 @@
+"""YARN-style resource management: two-level scheduling, containers, and
+cgroup isolation between the database and Distributed R (paper §6)."""
+
+from repro.yarn.container import Cgroup, Container, ContainerState
+from repro.yarn.resource_manager import (
+    Application,
+    ContainerRequest,
+    NodeCapacity,
+    ResourceManager,
+)
+from repro.yarn.scheduler import (
+    CapacityScheduler,
+    FairScheduler,
+    FifoScheduler,
+    Scheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "ResourceManager",
+    "NodeCapacity",
+    "Application",
+    "ContainerRequest",
+    "Container",
+    "ContainerState",
+    "Cgroup",
+    "Scheduler",
+    "FifoScheduler",
+    "CapacityScheduler",
+    "FairScheduler",
+    "make_scheduler",
+]

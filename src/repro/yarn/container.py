@@ -1,0 +1,108 @@
+"""Containers and cgroup-style enforcement.
+
+"When scheduled on the same nodes, Vertica and Distributed R processes are
+isolated using Linux cgroups. These enforcement mechanisms ensure that each
+process is restricted to the allocated amount of CPU and memory usage" (§6).
+A :class:`Container` is one granted allocation; its :class:`Cgroup` tracks
+simulated usage and rejects work beyond the limits.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import ResourceError
+
+__all__ = ["ContainerState", "Cgroup", "Container"]
+
+_CONTAINER_IDS = itertools.count(1)
+
+
+class ContainerState(enum.Enum):
+    ALLOCATED = "allocated"
+    RUNNING = "running"
+    RELEASED = "released"
+
+
+class Cgroup:
+    """Simulated cgroup: bounded CPU shares and memory bytes."""
+
+    def __init__(self, cores: int, memory_bytes: int) -> None:
+        if cores < 1 or memory_bytes < 1:
+            raise ResourceError("cgroup limits must be positive")
+        self.cores = cores
+        self.memory_bytes = memory_bytes
+        self._lock = threading.Lock()
+        self._cpu_in_use = 0
+        self._memory_in_use = 0
+        self.oom_kills = 0
+        self.cpu_throttles = 0
+
+    def acquire_cpu(self, cores: int = 1) -> None:
+        """Claim CPU shares; throttles (raises) past the limit."""
+        with self._lock:
+            if self._cpu_in_use + cores > self.cores:
+                self.cpu_throttles += 1
+                raise ResourceError(
+                    f"cgroup CPU limit: {self._cpu_in_use}+{cores} > {self.cores}"
+                )
+            self._cpu_in_use += cores
+
+    def release_cpu(self, cores: int = 1) -> None:
+        with self._lock:
+            if cores > self._cpu_in_use:
+                raise ResourceError("releasing more CPU than is held")
+            self._cpu_in_use -= cores
+
+    def charge_memory(self, nbytes: int) -> None:
+        """Account allocated memory; an overshoot is an OOM kill."""
+        with self._lock:
+            if self._memory_in_use + nbytes > self.memory_bytes:
+                self.oom_kills += 1
+                raise MemoryError(
+                    f"cgroup memory limit: {self._memory_in_use}+{nbytes} "
+                    f"> {self.memory_bytes}"
+                )
+            self._memory_in_use += nbytes
+
+    def uncharge_memory(self, nbytes: int) -> None:
+        with self._lock:
+            self._memory_in_use = max(0, self._memory_in_use - nbytes)
+
+    @property
+    def cpu_in_use(self) -> int:
+        with self._lock:
+            return self._cpu_in_use
+
+    @property
+    def memory_in_use(self) -> int:
+        with self._lock:
+            return self._memory_in_use
+
+
+@dataclass
+class Container:
+    """One granted resource allocation on one node."""
+
+    node_index: int
+    cores: int
+    memory_bytes: int
+    application_id: int
+    container_id: int = field(default_factory=lambda: next(_CONTAINER_IDS))
+    state: ContainerState = ContainerState.ALLOCATED
+    cgroup: Cgroup = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.cgroup is None:
+            self.cgroup = Cgroup(self.cores, self.memory_bytes)
+
+    def start(self) -> None:
+        if self.state is not ContainerState.ALLOCATED:
+            raise ResourceError(f"cannot start container in state {self.state}")
+        self.state = ContainerState.RUNNING
+
+    def release(self) -> None:
+        self.state = ContainerState.RELEASED

@@ -1,0 +1,38 @@
+"""Shared fixtures: a small database cluster and a Distributed R session."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.dr import start_session
+from repro.vertica import HashSegmentation, VerticaCluster
+
+
+@pytest.fixture
+def cluster():
+    """A 3-node in-memory database cluster."""
+    return VerticaCluster(node_count=3)
+
+
+@pytest.fixture
+def session():
+    """A 3-worker Distributed R session (2 R instances each)."""
+    with start_session(node_count=3, instances_per_node=2) as s:
+        yield s
+
+
+@pytest.fixture
+def loaded_cluster(cluster):
+    """The cluster with a hash-segmented numeric table ``pts`` (900 rows)."""
+    rng = np.random.default_rng(7)
+    n = 900
+    columns = {
+        "k": rng.integers(0, 10_000, n),
+        "a": rng.normal(size=n),
+        "b": rng.normal(size=n),
+        "y": rng.normal(size=n),
+    }
+    cluster.create_table_like("pts", columns, HashSegmentation("k"))
+    cluster.bulk_load("pts", columns)
+    return cluster

