@@ -1,0 +1,37 @@
+# Developer entry points. `make lint` always runs reprolint (stdlib-only);
+# ruff and mypy run when installed (pip install -e '.[lint]') and are
+# skipped with a notice otherwise, so the target works in minimal
+# environments and is strict in CI.
+
+PYTHON ?= python
+
+.PHONY: test lint reprolint ruff mypy race all
+
+all: lint test
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+reprolint:
+	$(PYTHON) -m reprolint src tests
+
+ruff:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tools tests; \
+	else \
+		echo "ruff not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+
+mypy:
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy src/repro/dr src/repro/transfer; \
+	else \
+		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
+	fi
+
+lint: reprolint ruff mypy
+
+# Run the whole suite under instrumented locks: any lock-order inversion
+# in the threaded engines fails deterministically instead of deadlocking.
+race:
+	REPROLINT_LOCK_CHECK=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q

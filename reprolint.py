@@ -1,0 +1,25 @@
+"""Launcher shim: makes ``python -m reprolint src tests`` work from the repo
+root without PYTHONPATH gymnastics.
+
+The real package lives in ``tools/reprolint/``.  When ``python -m reprolint``
+runs from the repo root, the interpreter finds *this* module first (the
+current directory precedes ``tools/`` on ``sys.path``); the shim prepends
+``tools/``, evicts itself from ``sys.modules`` so the package can take the
+name, and delegates to the package CLI.
+"""
+
+import os
+import sys
+
+_TOOLS = os.path.join(os.path.dirname(os.path.abspath(__file__)), "tools")
+# tools/ must precede the repo root (where this shim shadows the package),
+# even when PYTHONPATH already lists tools/ somewhere later on sys.path.
+if _TOOLS in sys.path:
+    sys.path.remove(_TOOLS)
+sys.path.insert(0, _TOOLS)
+sys.modules.pop("reprolint", None)
+
+from reprolint.cli import main  # noqa: E402  (real package, from tools/)
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,14 +22,20 @@ Helper functions mirror Table 1: :func:`partitionsize` and :func:`clone`.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence, Union
 
 import numpy as np
 
 from repro.dr.dobject import DistributedObject
 from repro.errors import PartitionError
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dr.session import DRSession
+
 __all__ = ["DArray", "partitionsize", "clone", "repartition"]
+
+# Operand of the elementwise operators: a co-partitioned array or a scalar.
+Operand = Union["DArray", int, float, np.integer, np.floating]
 
 
 class DArray(DistributedObject):
@@ -39,11 +45,11 @@ class DArray(DistributedObject):
 
     def __init__(
         self,
-        session,
+        session: "DRSession",
         npartitions: int | None = None,
         dim: tuple[int, int] | None = None,
         blocks: tuple[int, int] | None = None,
-        dtype=np.float64,
+        dtype: np.dtype | type = np.float64,
         worker_assignment: Sequence[int] | None = None,
         partition_by: str = "row",
     ) -> None:
@@ -71,7 +77,9 @@ class DArray(DistributedObject):
             self._declared_dim = None
             super().__init__(session, npartitions, worker_assignment)
 
-    def _init_legacy(self, session, dim, blocks, worker_assignment) -> None:
+    def _init_legacy(self, session: "DRSession", dim: tuple[int, int],
+                     blocks: tuple[int, int],
+                     worker_assignment: Sequence[int] | None) -> None:
         rows, cols = int(dim[0]), int(dim[1])
         block_rows, block_cols = int(blocks[0]), int(blocks[1])
         if rows < 1 or cols < 1 or block_rows < 1 or block_cols < 1:
@@ -227,7 +235,7 @@ class DArray(DistributedObject):
         """Replace each partition with ``fn(index, partition, *other_parts)``."""
         self._check_copartitioned(others)
 
-        def task(index: int):
+        def task(index: int) -> None:
             args = [self.get_partition(index)]
             for other in others:
                 args.append(self._local_partition(other, index, relative_to=self))
@@ -244,7 +252,8 @@ class DArray(DistributedObject):
 
     # -- numpy-style arithmetic (partition-parallel) --------------------------------
 
-    def _binary_elementwise(self, other, op: Callable, symbol: str) -> "DArray":
+    def _binary_elementwise(self, other: Operand, op: Callable,
+                            symbol: str) -> "DArray":
         """Elementwise op against a scalar or a co-partitioned darray."""
         if self.is_legacy:
             raise PartitionError("arithmetic supports flexible arrays")
@@ -261,41 +270,40 @@ class DArray(DistributedObject):
                     f"{self.partition_shapes()} vs {other.partition_shapes()}"
                 )
 
-            def task(index: int, mine: np.ndarray, theirs: np.ndarray):
+            def task(index: int, mine: np.ndarray, theirs: np.ndarray) -> None:
                 result.fill_partition(index, op(np.asarray(mine, dtype=np.float64),
                                                 np.asarray(theirs, dtype=np.float64)))
-                return None
 
             self.map_partitions(task, other)
         elif isinstance(other, (int, float, np.integer, np.floating)):
 
-            def task(index: int, mine: np.ndarray):
+            def scalar_task(index: int, mine: np.ndarray) -> None:
+                scalar = float(other)  # type: ignore[arg-type]
                 result.fill_partition(
-                    index, op(np.asarray(mine, dtype=np.float64), float(other)))
-                return None
+                    index, op(np.asarray(mine, dtype=np.float64), scalar))
 
-            self.map_partitions(task)
+            self.map_partitions(scalar_task)
         else:
             raise PartitionError(
                 f"cannot {symbol} a darray with {type(other).__name__}")
         return result
 
-    def __add__(self, other) -> "DArray":
+    def __add__(self, other: Operand) -> "DArray":
         return self._binary_elementwise(other, np.add, "+")
 
-    def __radd__(self, other) -> "DArray":
+    def __radd__(self, other: Operand) -> "DArray":
         return self.__add__(other)
 
-    def __sub__(self, other) -> "DArray":
+    def __sub__(self, other: Operand) -> "DArray":
         return self._binary_elementwise(other, np.subtract, "-")
 
-    def __mul__(self, other) -> "DArray":
+    def __mul__(self, other: Operand) -> "DArray":
         return self._binary_elementwise(other, np.multiply, "*")
 
-    def __rmul__(self, other) -> "DArray":
+    def __rmul__(self, other: Operand) -> "DArray":
         return self.__mul__(other)
 
-    def __truediv__(self, other) -> "DArray":
+    def __truediv__(self, other: Operand) -> "DArray":
         return self._binary_elementwise(other, np.divide, "/")
 
     def __neg__(self) -> "DArray":
@@ -315,10 +323,9 @@ class DArray(DistributedObject):
         result = DArray(self.session, npartitions=self.npartitions,
                         dtype=np.float64, worker_assignment=assignment)
 
-        def task(index: int, mine: np.ndarray):
+        def task(index: int, mine: np.ndarray) -> None:
             result.fill_partition(
                 index, (np.asarray(mine, dtype=np.float64) @ vector).reshape(-1, 1))
-            return None
 
         self.map_partitions(task)
         return result
@@ -342,7 +349,9 @@ class DArray(DistributedObject):
 
 
 
-def partitionsize(array: DArray, index: int | None = None):
+def partitionsize(
+    array: DArray, index: int | None = None
+) -> tuple[int, int] | np.ndarray:
     """Table 1's ``partitionsize(A, i)``: the size of partition ``i``, or an
     ``npartitions x 2`` matrix of all partition sizes when ``i`` is omitted."""
     if index is not None:

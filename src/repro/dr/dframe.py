@@ -7,12 +7,16 @@ partition to expose the same column names in the same order.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
 from repro.dr.dobject import DistributedObject
 from repro.errors import PartitionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dr.darray import DArray
+    from repro.dr.session import DRSession
 
 __all__ = ["DFrame"]
 
@@ -22,7 +26,7 @@ class DFrame(DistributedObject):
 
     kind = "dframe"
 
-    def __init__(self, session, npartitions: int,
+    def __init__(self, session: "DRSession", npartitions: int,
                  worker_assignment: Sequence[int] | None = None) -> None:
         super().__init__(session, npartitions, worker_assignment)
         self._columns: tuple[str, ...] | None = None
@@ -85,7 +89,7 @@ class DFrame(DistributedObject):
         """Replace each partition with ``fn(index, partition, *other_parts)``."""
         self._check_copartitioned(others)
 
-        def task(index: int):
+        def task(index: int) -> None:
             args = [self.get_partition(index)]
             for other in others:
                 args.append(self._local_partition(other, index, relative_to=self))
@@ -107,7 +111,7 @@ class DFrame(DistributedObject):
         assignment = [self.worker_of(i) for i in range(self.npartitions)]
         result = DFrame(self.session, self.npartitions, assignment)
 
-        def task(index: int, part: dict):
+        def task(index: int, part: dict) -> None:
             result.fill_partition(index, {name: part[name] for name in columns})
             return None
 
@@ -119,7 +123,7 @@ class DFrame(DistributedObject):
         assignment = [self.worker_of(i) for i in range(self.npartitions)]
         result = DFrame(self.session, self.npartitions, assignment)
 
-        def task(index: int, part: dict):
+        def task(index: int, part: dict) -> None:
             mask = np.atleast_1d(np.asarray(predicate(part), dtype=bool))
             result.fill_partition(
                 index, {name: arr[mask] for name, arr in part.items()})
@@ -134,7 +138,7 @@ class DFrame(DistributedObject):
         assignment = [self.worker_of(i) for i in range(self.npartitions)]
         result = DFrame(self.session, self.npartitions, assignment)
 
-        def task(index: int, part: dict):
+        def task(index: int, part: dict) -> None:
             values = np.atleast_1d(np.asarray(fn(part)))
             rows = len(next(iter(part.values())))
             if len(values) != rows:
@@ -148,7 +152,7 @@ class DFrame(DistributedObject):
         self.map_partitions(task)
         return result
 
-    def to_darray(self, columns: list[str] | None = None):
+    def to_darray(self, columns: list[str] | None = None) -> "DArray":
         """Stack numeric columns into a co-located row-partitioned darray."""
         from repro.dr.darray import DArray
 
@@ -160,7 +164,7 @@ class DFrame(DistributedObject):
         result = DArray(self.session, npartitions=self.npartitions,
                         worker_assignment=assignment)
 
-        def task(index: int, part: dict):
+        def task(index: int, part: dict) -> None:
             arrays = []
             for name in names:
                 arr = np.asarray(part[name])

@@ -7,10 +7,13 @@ random-forest trees each worker grows) and other irregular collections.
 from __future__ import annotations
 
 import sys
-from typing import Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
 
 from repro.dr.dobject import DistributedObject
 from repro.errors import PartitionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dr.session import DRSession
 
 __all__ = ["DList"]
 
@@ -20,7 +23,7 @@ class DList(DistributedObject):
 
     kind = "dlist"
 
-    def __init__(self, session, npartitions: int,
+    def __init__(self, session: "DRSession", npartitions: int,
                  worker_assignment: Sequence[int] | None = None) -> None:
         super().__init__(session, npartitions, worker_assignment)
 
@@ -30,7 +33,7 @@ class DList(DistributedObject):
         nbytes = sum(sys.getsizeof(item) for item in items)
         self._store(index, list(items), len(items), None, nbytes)
 
-    def append_to_partition(self, index: int, item) -> None:
+    def append_to_partition(self, index: int, item: Any) -> None:
         """Append one item (creates the partition if empty)."""
         info = self._info(index)
         current = self.get_partition(index) if info.filled else []
@@ -52,7 +55,7 @@ class DList(DistributedObject):
         """Replace each partition with ``fn(index, items, *other_parts)``."""
         self._check_copartitioned(others)
 
-        def task(index: int):
+        def task(index: int) -> None:
             current = self.get_partition(index) if self.partitions[index].filled else []
             args = [current]
             for other in others:

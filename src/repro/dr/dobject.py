@@ -132,7 +132,7 @@ class DistributedObject:
         """
         self._check_copartitioned(others)
 
-        def task(index: int):
+        def task(index: int) -> Any:
             args = [self._local_partition(self, index)]
             for other in others:
                 args.append(self._local_partition(other, index, relative_to=self))

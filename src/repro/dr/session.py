@@ -15,7 +15,9 @@ from __future__ import annotations
 
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Callable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
 
 from repro.dr.darray import DArray
 from repro.dr.dframe import DFrame
@@ -49,6 +51,7 @@ class DRSession:
             raise SessionError("each worker needs at least one R instance")
         self.instances_per_node = instances_per_node
         self.telemetry = Telemetry()
+        self._lock = threading.Lock()
         self._closed = False
         self._yarn = yarn
         self._yarn_app = None
@@ -87,8 +90,11 @@ class DRSession:
 
     # -- data structure constructors (Table 1) -----------------------------------
 
-    def darray(self, npartitions: int | None = None, dim=None, blocks=None,
-               dtype=float, worker_assignment: Sequence[int] | None = None,
+    def darray(self, npartitions: int | None = None,
+               dim: tuple[int, int] | None = None,
+               blocks: tuple[int, int] | None = None,
+               dtype: np.dtype | type = float,
+               worker_assignment: Sequence[int] | None = None,
                partition_by: str = "row") -> DArray:
         """``darray(npartitions=)`` or legacy ``darray(dim=, blocks=)``."""
         self._check_open()
@@ -120,7 +126,7 @@ class DRSession:
 
     def run_partition_tasks(
         self, tasks: list[tuple[int, Callable, int]]
-    ) -> list:
+    ) -> list[Any]:
         """Run ``(worker_index, fn, partition_index)`` tasks in parallel.
 
         This is the ``foreach`` execution engine: tasks are dispatched to the
@@ -130,7 +136,7 @@ class DRSession:
         """
         self._check_open()
 
-        def run(worker_index: int, fn: Callable, partition_index: int):
+        def run(worker_index: int, fn: Callable, partition_index: int) -> Any:
             slot = self._worker_slots[worker_index]
             with slot:
                 return fn(partition_index)
@@ -143,35 +149,40 @@ class DRSession:
         return [future.result() for future in futures]
 
     def foreach(self, indices: Sequence[int], fn: Callable,
-                worker_for: Callable[[int], int] | None = None) -> list:
+                worker_for: Callable[[int], int] | None = None) -> list[Any]:
         """Paper-style ``foreach(i, 1:n, f)``: run ``fn(i)`` for each index.
 
         ``worker_for`` maps an index to the worker that should run it
         (defaults to round-robin).
         """
-        if worker_for is None:
-            worker_for = lambda i: i % self.node_count
-        return self.run_partition_tasks([(worker_for(i), fn, i) for i in indices])
+        def round_robin(i: int) -> int:
+            return i % self.node_count
+
+        mapper = worker_for if worker_for is not None else round_robin
+        return self.run_partition_tasks([(mapper(i), fn, i) for i in indices])
 
     # -- lifecycle -----------------------------------------------------------------
 
     def shutdown(self) -> None:
         """Stop the session, releasing YARN containers if any were held."""
-        if self._closed:
-            return
-        self._closed = True
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
         self._pool.shutdown(wait=True)
         if self._yarn is not None and self._yarn_app is not None:
             self._yarn.release_application(self._yarn_app)
 
     def _check_open(self) -> None:
-        if self._closed:
+        with self._lock:
+            closed = self._closed
+        if closed:
             raise SessionError("session has been shut down")
 
     def __enter__(self) -> "DRSession":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.shutdown()
 
 

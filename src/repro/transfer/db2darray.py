@@ -43,7 +43,7 @@ def _run_transfer(
     chunk_rows: int | None,
     where: str | None,
     as_frame: bool,
-):
+) -> "DArray | DFrame":
     if not columns:
         raise TransferError("at least one column must be transferred")
     cluster.install_standard_functions()
@@ -165,7 +165,7 @@ def db2darray_with_response(
     features = DArray(session, npartitions=loaded.npartitions,
                       worker_assignment=assignment)
 
-    def split(index: int, combined_part: np.ndarray):
+    def split(index: int, combined_part: np.ndarray) -> None:
         response.fill_partition(index, combined_part[:, :1])
         features.fill_partition(index, combined_part[:, 1:])
         return None

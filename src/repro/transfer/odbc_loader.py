@@ -89,7 +89,7 @@ def load_via_parallel_odbc(
     assignment = [i % worker_count for i in range(k)]
     result = DArray(session, npartitions=k, worker_assignment=assignment)
 
-    def fetch(index: int):
+    def fetch(index: int) -> int:
         start, stop = int(boundaries[index]), int(boundaries[index + 1])
         connection = cluster.connect()
         try:

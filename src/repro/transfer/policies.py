@@ -55,7 +55,8 @@ class LocalityPreserving(TransferPolicy):
                 "(use the uniform policy otherwise)"
             )
 
-    def target_worker(self, db_node, instance_index, chunk_index, worker_count):
+    def target_worker(self, db_node: int, instance_index: int, chunk_index: int,
+                      worker_count: int) -> int:
         return db_node
 
     def partition_count(self, db_node_count: int, worker_count: int) -> int:
@@ -67,7 +68,8 @@ class UniformDistribution(TransferPolicy):
 
     name = "uniform"
 
-    def target_worker(self, db_node, instance_index, chunk_index, worker_count):
+    def target_worker(self, db_node: int, instance_index: int, chunk_index: int,
+                      worker_count: int) -> int:
         # Offset by the (globally unique) instance index so concurrent
         # senders interleave rather than all starting at worker 0.
         return (instance_index + chunk_index) % worker_count

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 import uuid
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
@@ -28,10 +28,13 @@ from repro.errors import TransferError
 from repro.storage.encoding import ColumnSchema, SqlType
 from repro.transfer.policies import TransferPolicy
 from repro.transfer.streams import encode_frame, frames_to_columns, frames_to_matrix
-from repro.vertica.udtf import TransformFunction
+from repro.vertica.udtf import TransformFunction, UdtfContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.dr.darray import DArray
+    from repro.dr.dframe import DFrame
     from repro.dr.session import DRSession
+    from repro.dr.worker import ShmBuffer
 
 __all__ = ["TransferTarget", "ExportToDistributedR", "lookup_target"]
 
@@ -67,7 +70,7 @@ class TransferTarget:
         self.token = uuid.uuid4().hex
         self._lock = threading.Lock()
         # (worker, db_node, instance) -> ShmBuffer
-        self._streams: dict[tuple[int, int, int], object] = {}
+        self._streams: dict[tuple[int, int, int], "ShmBuffer"] = {}
         self.rows_streamed = 0
         self.bytes_streamed = 0
         with _TARGETS_LOCK:
@@ -95,7 +98,7 @@ class TransferTarget:
         self.session.telemetry.add("vft_bytes_received", len(frame))
         self.session.telemetry.add("vft_rows_received", rows)
 
-    def finalize(self, db_node_count: int):
+    def finalize(self, db_node_count: int) -> "DArray | DFrame":
         """Convert staged bytes into a filled darray (or dframe).
 
         Returns the distributed object with one partition per database node
@@ -156,7 +159,7 @@ class TransferTarget:
     def __enter__(self) -> "TransferTarget":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.unregister()
 
 
@@ -184,7 +187,8 @@ class ExportToDistributedR(TransformFunction):
             ColumnSchema("bytes_sent", SqlType.INTEGER),
         ]
 
-    def process(self, ctx, args, params):
+    def process(self, ctx: UdtfContext, args: dict[str, np.ndarray],
+                params: Mapping[str, Any]) -> dict[str, np.ndarray]:
         token = params.get("target")
         if not token:
             raise TransferError("ExportToDistributedR requires a 'target' parameter")

@@ -8,6 +8,7 @@ side of the workflow.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -56,6 +57,7 @@ class VerticaCluster:
         self.telemetry = Telemetry()
         self.executor_threads = executor_threads or max(4, node_count)
         self._executor = QueryExecutor(self)
+        self._lock = threading.Lock()
         self._prediction_functions_installed = False
 
     # -- DDL / data loading ----------------------------------------------------
@@ -137,17 +139,19 @@ class VerticaCluster:
     def install_standard_functions(self) -> None:
         """Register the built-in prediction and transfer UDTFs.
 
-        Imported lazily to avoid circular imports; idempotent.
+        Imported lazily to avoid circular imports; idempotent and safe to
+        call from concurrent transfers.
         """
-        if self._prediction_functions_installed:
-            return
         from repro.deploy.predict_functions import standard_prediction_functions
         from repro.transfer.vft import ExportToDistributedR
 
-        for udtf in standard_prediction_functions():
-            self.catalog.register_udtf(udtf, replace=True)
-        self.catalog.register_udtf(ExportToDistributedR(), replace=True)
-        self._prediction_functions_installed = True
+        with self._lock:
+            if self._prediction_functions_installed:
+                return
+            for udtf in standard_prediction_functions():
+                self.catalog.register_udtf(udtf, replace=True)
+            self.catalog.register_udtf(ExportToDistributedR(), replace=True)
+            self._prediction_functions_installed = True
 
     # -- node failure / failover --------------------------------------------------
 

@@ -83,7 +83,7 @@ class DistributedFileSystem:
             live = [n for n in range(self.node_count) if n not in self._down]
             if len(live) < 1:
                 raise DfsError("no live nodes to store the file")
-            replicas = self._choose_replicas(live)
+            replicas = self._choose_replicas_locked(live)
             version = self._meta[path].version + 1 if path in self._meta else 1
             # Remove stale replicas from a previous version.
             if path in self._meta:
@@ -102,8 +102,8 @@ class DistributedFileSystem:
             self._meta[path] = info
             return info
 
-    def _choose_replicas(self, live: list[int]) -> list[int]:
-        """Round-robin placement across live nodes for balanced storage."""
+    def _choose_replicas_locked(self, live: list[int]) -> list[int]:
+        """Round-robin placement across live nodes; caller holds ``_lock``."""
         count = min(self.replication, len(live))
         start = self._placement_cursor % len(live)
         self._placement_cursor += 1

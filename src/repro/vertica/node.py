@@ -48,14 +48,17 @@ class DatabaseNode:
 
     @property
     def is_down(self) -> bool:
-        return self._down
+        with self._lock:
+            return self._down
 
     def fail(self) -> None:
         """Mark the node as failed (scans must fail over to replicas)."""
-        self._down = True
+        with self._lock:
+            self._down = True
 
     def recover(self) -> None:
-        self._down = False
+        with self._lock:
+            self._down = False
 
     # -- scan slots (bounded concurrent scans) ------------------------------
 

@@ -1,12 +1,31 @@
-"""Shared fixtures: a small database cluster and a Distributed R session."""
+"""Shared fixtures: a small database cluster and a Distributed R session.
+
+Also wires in the reprolint runtime race probe: with REPROLINT_LOCK_CHECK=1
+in the environment, ``threading.Lock`` is replaced (before any engine object
+is constructed) by an instrumented lock that fails the suite on lock-order
+inversions.  Off by default; CI runs it as a separate race-probe job.
+"""
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
+import sys
+from pathlib import Path
 
-from repro.dr import start_session
-from repro.vertica import HashSegmentation, VerticaCluster
+# The reprolint package lives in tools/, outside the installed src/ tree.
+_TOOLS_DIR = str(Path(__file__).resolve().parent.parent / "tools")
+if _TOOLS_DIR not in sys.path:
+    sys.path.insert(0, _TOOLS_DIR)
+
+from reprolint import runtime as _reprolint_runtime  # noqa: E402
+
+# Must happen before repro imports create any module-level locks.
+_reprolint_runtime.maybe_install_from_env()
+
+import numpy as np  # noqa: E402
+import pytest  # noqa: E402
+
+from repro.dr import start_session  # noqa: E402
+from repro.vertica import HashSegmentation, VerticaCluster  # noqa: E402
 
 
 @pytest.fixture

@@ -1,0 +1,588 @@
+"""Tests for the reprolint static-analysis suite and the runtime race probe.
+
+Each of the six checkers gets a minimal positive fixture (purpose-built bad
+code the rule must flag) and a negative fixture (idiomatic code it must not
+flag).  The runtime half proves :class:`InstrumentedLock` detects a
+deliberately inverted lock order, and that clean nesting passes.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import textwrap
+import threading
+from pathlib import Path
+
+import pytest
+
+from reprolint.baseline import load_baseline
+from reprolint.cli import run as reprolint_run
+from reprolint.core import FileContext, ProjectContext, get_checker
+from reprolint.runtime import (
+    InstrumentedLock,
+    LockOrderInversion,
+    LockOrderMonitor,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def check_snippet(rule: str, source: str, relpath: str = "src/repro/dr/x.py"):
+    """Run one checker over an inline fixture; returns unsuppressed violations."""
+    ctx = FileContext(Path(relpath), relpath, textwrap.dedent(source))
+    checker = get_checker(rule)
+    assert checker.applies_to(relpath), f"{rule} should apply to {relpath}"
+    return [v for v in checker.check(ctx) if not ctx.is_suppressed(v)]
+
+
+# ---------------------------------------------------------------------------
+# lock-discipline
+# ---------------------------------------------------------------------------
+
+LOCKED_CLASS_BAD = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}
+
+        def put(self, key, value):
+            self._items[key] = value        # mutation without the lock
+
+        def bump(self):
+            self._count += 1                # ditto, AugAssign form
+"""
+
+LOCKED_CLASS_GOOD = """
+    import threading
+
+    class Store:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._items = {}
+            self._init_cache()              # init helper: exempt
+
+        def _init_cache(self):
+            self._cache = {}
+
+        def put(self, key, value):
+            with self._lock:
+                self._items[key] = value
+
+        def _evict_locked(self, key):
+            self._items.pop(key, None)      # *_locked: caller holds the lock
+
+        def read(self, key):
+            with self._lock:
+                return self._items.get(key)
+"""
+
+
+def test_lock_discipline_flags_unguarded_mutation():
+    violations = check_snippet("lock-discipline", LOCKED_CLASS_BAD)
+    assert len(violations) == 2
+    assert all(v.rule == "lock-discipline" for v in violations)
+    assert violations[0].symbol == "Store.put"
+    assert "_items" in violations[0].message
+    assert violations[1].symbol == "Store.bump"
+
+
+def test_lock_discipline_accepts_guarded_and_conventions():
+    assert check_snippet("lock-discipline", LOCKED_CLASS_GOOD) == []
+
+
+def test_lock_discipline_ignores_classes_without_sync_primitives():
+    source = """
+        class Plain:
+            def __init__(self):
+                self._x = 0
+
+            def bump(self):
+                self._x += 1
+    """
+    assert check_snippet("lock-discipline", source) == []
+
+
+def test_lock_discipline_semaphore_class_needs_a_real_lock():
+    source = """
+        import threading
+
+        class Pool:
+            def __init__(self):
+                self._slots = [threading.BoundedSemaphore(2)]
+                self._closed = False
+
+            def close(self):
+                self._closed = True
+    """
+    violations = check_snippet("lock-discipline", source)
+    assert len(violations) == 1
+    assert "no lock attribute" in violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# exception-hygiene
+# ---------------------------------------------------------------------------
+
+def test_exception_hygiene_flags_bare_and_swallowed():
+    source = """
+        def pump():
+            try:
+                step()
+            except:
+                pass
+
+        def drain():
+            try:
+                step()
+            except Exception as exc:
+                log(exc)
+    """
+    violations = check_snippet(
+        "exception-hygiene", source, relpath="src/repro/transfer/x.py"
+    )
+    assert len(violations) == 2
+    assert "bare" in violations[0].message
+    assert "swallows" in violations[1].message
+
+
+def test_exception_hygiene_accepts_translation_and_narrow_catches():
+    source = """
+        from repro.errors import TransferError
+
+        def pump():
+            try:
+                step()
+            except Exception as exc:
+                raise TransferError("stream failed") from exc
+
+        def parse(x):
+            try:
+                return int(x)
+            except ValueError:
+                return 0
+    """
+    assert check_snippet(
+        "exception-hygiene", source, relpath="src/repro/dr/x.py"
+    ) == []
+
+
+def test_exception_hygiene_scoped_to_hot_paths():
+    checker = get_checker("exception-hygiene")
+    assert checker.applies_to("src/repro/vertica/executor.py")
+    assert not checker.applies_to("src/repro/harness/report.py")
+    assert not checker.applies_to("tests/test_transfer.py")
+
+
+# ---------------------------------------------------------------------------
+# conformability-api
+# ---------------------------------------------------------------------------
+
+def test_conformability_flags_direct_partition_writes():
+    source = """
+        def corrupt(arr, block):
+            arr.partitions[0].nrow = 7
+            arr.partitions[1] = None
+            arr._store(1, block, 3, 2, block.nbytes)
+    """
+    violations = check_snippet(
+        "conformability-api", source, relpath="src/repro/algorithms/x.py"
+    )
+    assert len(violations) == 3
+    messages = " / ".join(v.message for v in violations)
+    assert "PartitionInfo.nrow" in messages
+    assert "fill_partition" in messages
+
+
+def test_conformability_accepts_reads_and_protocol_use():
+    source = """
+        def inspect(arr, values):
+            n = arr.partitions[0].nrow
+            arr.fill_partition(0, values)
+            return n
+    """
+    assert check_snippet(
+        "conformability-api", source, relpath="src/repro/algorithms/x.py"
+    ) == []
+
+
+def test_conformability_exempts_dr_implementation():
+    checker = get_checker("conformability-api")
+    assert not checker.applies_to("src/repro/dr/dobject.py")
+    assert checker.applies_to("src/repro/deploy/deploy.py")
+    assert checker.applies_to("tests/test_dr_engine.py")
+
+
+# ---------------------------------------------------------------------------
+# udf-catalog (project scope)
+# ---------------------------------------------------------------------------
+
+def _udf_project(tmp_path: Path, *, register: bool, document: bool) -> ProjectContext:
+    module = tmp_path / "src/repro/deploy/predict_functions.py"
+    module.parent.mkdir(parents=True)
+    body = """
+        class SvmPredict:
+            name = "svmPredict"
+
+        def standard_prediction_functions():
+            return [{factory}]
+    """.format(factory="SvmPredict()" if register else "")
+    module.write_text(textwrap.dedent(body), encoding="utf-8")
+
+    cluster = tmp_path / "src/repro/vertica/cluster.py"
+    cluster.parent.mkdir(parents=True)
+    cluster.write_text(
+        "def install_standard_functions():\n"
+        "    standard_prediction_functions()\n",
+        encoding="utf-8",
+    )
+
+    docs = tmp_path / "docs/sql_reference.md"
+    docs.parent.mkdir(parents=True)
+    docs.write_text(
+        "| svmPredict | model |\n" if document else "nothing here\n",
+        encoding="utf-8",
+    )
+    return ProjectContext(tmp_path, [])
+
+
+def test_udf_catalog_flags_unregistered_and_undocumented(tmp_path):
+    checker = get_checker("udf-catalog")
+    violations = list(
+        checker.check_project(_udf_project(tmp_path, register=False, document=False))
+    )
+    assert len(violations) == 2
+    assert "never be registered" in violations[0].message
+    assert "not documented" in violations[1].message
+    assert all(v.symbol == "SvmPredict" for v in violations)
+
+
+def test_udf_catalog_clean_when_registered_and_documented(tmp_path):
+    checker = get_checker("udf-catalog")
+    violations = list(
+        checker.check_project(_udf_project(tmp_path, register=True, document=True))
+    )
+    assert violations == []
+
+
+def test_udf_catalog_clean_on_real_tree():
+    checker = get_checker("udf-catalog")
+    assert list(checker.check_project(ProjectContext(REPO_ROOT, []))) == []
+
+
+# ---------------------------------------------------------------------------
+# sim-determinism
+# ---------------------------------------------------------------------------
+
+def test_sim_determinism_flags_wall_clock_and_global_rng():
+    source = """
+        import random
+        import time
+        import numpy as np
+
+        def sample():
+            started = time.time()
+            jitter = random.random()
+            noise = np.random.normal(0.0, 1.0)
+            return started, jitter, noise
+    """
+    violations = check_snippet(
+        "sim-determinism", source, relpath="src/repro/simkit/x.py"
+    )
+    assert len(violations) == 3
+    messages = " / ".join(v.message for v in violations)
+    assert "wall-clock" in messages
+    assert "random.Random(seed)" in messages
+    assert "default_rng" in messages
+
+
+def test_sim_determinism_accepts_seeded_rngs():
+    source = """
+        import random
+        import numpy as np
+
+        def sample(seed):
+            rng = np.random.default_rng(seed)
+            local = random.Random(seed)
+            return rng.normal(), local.random()
+    """
+    assert check_snippet(
+        "sim-determinism", source, relpath="src/repro/perfmodel/x.py"
+    ) == []
+
+
+def test_sim_determinism_scoped_to_sim_code():
+    checker = get_checker("sim-determinism")
+    assert checker.applies_to("src/repro/simkit/core.py")
+    assert checker.applies_to("src/repro/perfmodel/calibration.py")
+    # transfer timing legitimately uses perf_counter on real work
+    assert not checker.applies_to("src/repro/transfer/db2darray.py")
+
+
+# ---------------------------------------------------------------------------
+# thread-hygiene
+# ---------------------------------------------------------------------------
+
+def test_thread_hygiene_flags_mutable_defaults_and_daemons():
+    source = """
+        import threading
+
+        def collect(x, acc=[]):
+            acc.append(x)
+            return acc
+
+        def spawn(fn):
+            t = threading.Thread(target=fn, daemon=True)
+            t.start()
+            return t
+    """
+    violations = check_snippet("thread-hygiene", source)
+    assert len(violations) == 2
+    assert "mutable default" in violations[0].message
+    assert "daemon" in violations[1].message
+
+
+def test_thread_hygiene_accepts_none_default_and_joined_threads():
+    source = """
+        import threading
+
+        def collect(x, acc=None):
+            acc = [] if acc is None else acc
+            acc.append(x)
+            return acc
+
+        def run(fn):
+            t = threading.Thread(target=fn)
+            t.start()
+            t.join()
+    """
+    assert check_snippet("thread-hygiene", source) == []
+
+
+# ---------------------------------------------------------------------------
+# suppressions and baseline
+# ---------------------------------------------------------------------------
+
+def test_inline_suppression_silences_one_rule():
+    source = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._items = {}
+
+            def put(self, key, value):
+                self._items[key] = value  # reprolint: ignore[lock-discipline]
+    """
+    assert check_snippet("lock-discipline", source) == []
+
+
+def test_inline_suppression_is_rule_specific():
+    source = """
+        import threading
+
+        class Store:
+            def __init__(self):
+                self._lock = threading.Lock()
+
+            def put(self, key, value):
+                self._items[key] = value  # reprolint: ignore[sim-determinism]
+    """
+    assert len(check_snippet("lock-discipline", source)) == 1
+
+
+def test_baseline_requires_justification(tmp_path):
+    baseline_file = tmp_path / "reprolint.baseline"
+    baseline_file.write_text(
+        "lock-discipline | src/x.py | Store.put |\n", encoding="utf-8"
+    )
+    baseline = load_baseline(baseline_file)
+    assert baseline.entries == []
+    assert any("no justification" in err for err in baseline.errors)
+
+
+def test_baseline_accepts_matching_violation(tmp_path):
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    (src_dir / "bad.py").write_text(textwrap.dedent(LOCKED_CLASS_BAD), encoding="utf-8")
+    baseline_file = tmp_path / "reprolint.baseline"
+
+    # Without a baseline: violations reported, exit 1.
+    import io
+
+    out = io.StringIO()
+    assert reprolint_run(tmp_path, ["src"], select=["lock-discipline"], out=out) == 1
+    assert "lock-discipline" in out.getvalue()
+
+    baseline_file.write_text(
+        "lock-discipline | src/bad.py | Store.put | demo fixture\n"
+        "lock-discipline | src/bad.py | Store.bump | demo fixture\n",
+        encoding="utf-8",
+    )
+    out = io.StringIO()
+    assert reprolint_run(tmp_path, ["src"], select=["lock-discipline"], out=out) == 0
+    assert "2 baselined" in out.getvalue()
+
+
+def test_repo_tree_is_clean_end_to_end():
+    """`python -m reprolint src tests` exits 0 on the committed tree."""
+    proc = subprocess.run(
+        [sys.executable, "-m", "reprolint", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 violation(s)" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# runtime race probe
+# ---------------------------------------------------------------------------
+
+def _acquire_in_thread(fn) -> Exception | None:
+    """Run fn in a worker thread, returning the exception it raised (if any)."""
+    box: list[Exception | None] = [None]
+
+    def runner():
+        try:
+            fn()
+        except Exception as exc:  # pragma: no cover - assertion carrier
+            box[0] = exc
+
+    t = threading.Thread(target=runner)
+    t.start()
+    t.join(timeout=30)
+    assert not t.is_alive(), "probe thread deadlocked"
+    return box[0]
+
+
+def test_instrumented_lock_detects_inverted_order():
+    monitor = LockOrderMonitor()
+    lock_a = InstrumentedLock("A", monitor=monitor)
+    lock_b = InstrumentedLock("B", monitor=monitor)
+
+    def forward():
+        with lock_a:
+            with lock_b:
+                pass
+
+    assert _acquire_in_thread(forward) is None
+
+    # Opposite nesting on another thread: must fail *before* deadlocking.
+    def inverted():
+        with lock_b:
+            with lock_a:
+                pass
+
+    error = _acquire_in_thread(inverted)
+    assert isinstance(error, LockOrderInversion)
+    message = str(error)
+    assert "'A'" in message and "'B'" in message
+
+
+def test_instrumented_lock_accepts_consistent_order():
+    monitor = LockOrderMonitor()
+    locks = [InstrumentedLock(f"L{i}", monitor=monitor) for i in range(3)]
+
+    def nested():
+        with locks[0]:
+            with locks[1]:
+                with locks[2]:
+                    pass
+
+    for _ in range(3):
+        assert _acquire_in_thread(nested) is None
+    assert monitor.edge_count() >= 2
+
+
+def test_instrumented_lock_detects_transitive_cycle():
+    monitor = LockOrderMonitor()
+    a = InstrumentedLock("A", monitor=monitor)
+    b = InstrumentedLock("B", monitor=monitor)
+    c = InstrumentedLock("C", monitor=monitor)
+
+    def ab():
+        with a:
+            with b:
+                pass
+
+    def bc():
+        with b:
+            with c:
+                pass
+
+    assert _acquire_in_thread(ab) is None
+    assert _acquire_in_thread(bc) is None
+
+    # A -> B -> C recorded; acquiring A under C closes the cycle.
+    def ca():
+        with c:
+            with a:
+                pass
+
+    error = _acquire_in_thread(ca)
+    assert isinstance(error, LockOrderInversion)
+
+
+def test_instrumented_lock_is_a_drop_in_lock():
+    lock = InstrumentedLock("plain", monitor=LockOrderMonitor())
+    assert lock.acquire()
+    assert lock.locked()
+    assert not lock.acquire(blocking=False)
+    lock.release()
+    assert not lock.locked()
+    with lock:
+        assert lock.locked()
+
+    # Works as the inner lock of a Condition (queue.Queue does this).
+    cond = threading.Condition(InstrumentedLock("cond", monitor=LockOrderMonitor()))
+    with cond:
+        cond.notify_all()
+
+
+def test_engine_workflow_has_no_lock_inversions():
+    """Exercise the real transfer + predict path under instrumented locks."""
+    import numpy as np
+
+    from reprolint import runtime
+
+    runtime.install()
+    try:
+        from repro import (
+            VerticaCluster,
+            db2darray_with_response,
+            deploy_model,
+            hpdglm,
+            start_session,
+        )
+
+        cluster = VerticaCluster(node_count=2)
+        rng = np.random.default_rng(11)
+        columns = {
+            "a": rng.normal(size=200),
+            "b": rng.normal(size=200),
+            "y": rng.normal(size=200),
+        }
+        cluster.create_table_like("probe_pts", columns)
+        cluster.bulk_load("probe_pts", columns)
+
+        with start_session(node_count=2, instances_per_node=2) as session:
+            y, x = db2darray_with_response(
+                cluster, "probe_pts", "y", ["a", "b"], session
+            )
+            assert x.collect().shape == (200, 2)
+            model = hpdglm(y, x, family="gaussian")
+
+        deploy_model(cluster, model, "probe_lm")
+        result = cluster.sql(
+            "SELECT glmPredict(a, b USING PARAMETERS model='probe_lm') "
+            "OVER (PARTITION BEST) FROM probe_pts"
+        )
+        assert len(result) == 200
+    finally:
+        runtime.uninstall()

@@ -1,0 +1,36 @@
+"""reprolint: project-specific static analysis + runtime race probe.
+
+Static side (``python -m reprolint src tests``): an AST-based checker
+framework with six rules protecting the invariants this reproduction's
+correctness rests on — lock discipline around shared state, exception
+translation on the transfer/DR/Vertica hot paths, the darray/dframe
+conformability protocol, UDF catalog/docs consistency, simulation
+determinism, and thread hygiene.  See ``docs/static_analysis.md``.
+
+Runtime side (:mod:`reprolint.runtime`): an opt-in instrumented lock that
+detects lock-order inversions across threads while the test suite runs
+(``REPROLINT_LOCK_CHECK=1``).
+"""
+
+from reprolint.core import (  # noqa: F401
+    Checker,
+    FileContext,
+    ProjectContext,
+    Violation,
+    all_checkers,
+    get_checker,
+    register,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "ProjectContext",
+    "Violation",
+    "all_checkers",
+    "get_checker",
+    "register",
+    "__version__",
+]

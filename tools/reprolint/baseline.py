@@ -1,0 +1,94 @@
+"""Baseline support: deliberately accepted findings, with justifications.
+
+The baseline file (``reprolint.baseline`` at the repo root by default) lets
+a violation be accepted long-term without an inline suppression.  Each entry
+is one line::
+
+    rule | path | symbol | justification
+
+where ``symbol`` is the enclosing class/function qualname reported by the
+linter (line-number independent, so entries survive refactors).  The
+justification is mandatory — an entry without one is a lint error itself.
+
+Blank lines and ``#`` comments are ignored.  Entries that no longer match
+any current violation are reported as *stale* so the baseline shrinks over
+time instead of rotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from reprolint.core import Violation
+
+__all__ = ["BaselineEntry", "Baseline", "load_baseline"]
+
+DEFAULT_BASELINE_NAME = "reprolint.baseline"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    symbol: str
+    justification: str
+    line: int  # line in the baseline file, for error messages
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+
+class Baseline:
+    def __init__(self, entries: list[BaselineEntry], errors: list[str]) -> None:
+        self.entries = entries
+        self.errors = errors
+        self._index = {entry.fingerprint(): entry for entry in entries}
+        self._matched: set[tuple[str, str, str]] = set()
+
+    def matches(self, violation: Violation) -> bool:
+        fp = violation.fingerprint()
+        if fp in self._index:
+            self._matched.add(fp)
+            return True
+        return False
+
+    def stale_entries(self) -> list[BaselineEntry]:
+        return [e for e in self.entries if e.fingerprint() not in self._matched]
+
+
+def load_baseline(path: Path) -> Baseline:
+    if not path.is_file():
+        return Baseline([], [])
+    entries: list[BaselineEntry] = []
+    errors: list[str] = []
+    seen: set[tuple[str, str, str]] = set()
+    for lineno, raw in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [part.strip() for part in line.split("|")]
+        if len(parts) != 4:
+            errors.append(
+                f"{path.name}:{lineno}: expected 'rule | path | symbol | "
+                f"justification', got {len(parts)} field(s)"
+            )
+            continue
+        rule, rel, symbol, justification = parts
+        if not justification:
+            errors.append(
+                f"{path.name}:{lineno}: baseline entry for {rule} at "
+                f"{rel}:{symbol} has no justification"
+            )
+            continue
+        entry = BaselineEntry(rule, rel, symbol, justification, lineno)
+        if entry.fingerprint() in seen:
+            errors.append(f"{path.name}:{lineno}: duplicate baseline entry")
+            continue
+        seen.add(entry.fingerprint())
+        entries.append(entry)
+    return Baseline(entries, errors)
+
+
+def format_entry(violation: Violation, justification: str = "TODO: justify") -> str:
+    return f"{violation.rule} | {violation.path} | {violation.symbol} | {justification}"

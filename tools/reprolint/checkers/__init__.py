@@ -1,0 +1,10 @@
+"""Checker registry population: importing this package registers all rules."""
+
+from reprolint.checkers import (  # noqa: F401
+    conformability,
+    exception_hygiene,
+    lock_discipline,
+    sim_determinism,
+    thread_hygiene,
+    udf_catalog,
+)

@@ -1,0 +1,117 @@
+"""conformability-api (CF301): partition state changes go through dobject.
+
+The paper's flexible darrays enforce conformability at fill time ("if data
+is row partitioned, each partition may have variable number of rows, but the
+same number of columns", §4).  That guarantee only holds if every partition
+write goes through ``fill_partition`` / ``update_partitions`` /
+``DistributedObject._store``, which update master-side ``PartitionInfo``
+metadata under the object lock.
+
+Outside the ``src/repro/dr/`` implementation itself, this checker flags:
+
+* assignments into ``<obj>.partitions[...]`` or to the ``PartitionInfo``
+  fields ``nrow`` / ``ncol`` / ``nbytes`` / ``worker_index`` reached through
+  a ``.partitions`` subscript — mutating master metadata directly desyncs
+  it from worker contents and bypasses ``partitionsize()`` conformability;
+* calls to the private protocol entry points ``_store`` / ``_info`` on
+  another object, and writes into a worker's private ``_store`` /
+  ``_partition_bytes`` dicts.
+
+Reads (``x.partitions[i].nrow``) are fine and common in tests.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.core import Checker, FileContext, Violation, register
+
+EXEMPT_PREFIX = "src/repro/dr/"
+PARTITION_FIELDS = {"nrow", "ncol", "nbytes", "worker_index"}
+PRIVATE_PROTOCOL = {"_store", "_info", "_partition_bytes"}
+
+
+def _touches_partitions_subscript(node: ast.AST) -> bool:
+    """True if the expression contains ``<x>.partitions[...]``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Subscript)
+            and isinstance(sub.value, ast.Attribute)
+            and sub.value.attr == "partitions"
+        ):
+            return True
+    return False
+
+
+@register
+class ConformabilityChecker(Checker):
+    rule = "conformability-api"
+    code = "CF301"
+    description = (
+        "darray/dframe partition internals must not be mutated directly; "
+        "use fill_partition/update_partitions so conformability checks run"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.endswith(".py") and not relpath.startswith(EXEMPT_PREFIX)
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    yield from self._check_store_target(ctx, node, target)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_store_target(
+        self, ctx: FileContext, stmt: ast.AST, target: ast.AST
+    ) -> Iterable[Violation]:
+        # x.partitions[i] = ...  or  x.partitions[i].nrow = ...
+        if isinstance(target, ast.Subscript) and _touches_partitions_subscript(target):
+            yield self.violation(
+                ctx,
+                stmt,
+                "direct write into .partitions[...] bypasses the dobject "
+                "update protocol; use fill_partition/update_partitions",
+            )
+            return
+        if isinstance(target, ast.Attribute):
+            if target.attr in PARTITION_FIELDS and _touches_partitions_subscript(target.value):
+                yield self.violation(
+                    ctx,
+                    stmt,
+                    f"direct write to PartitionInfo.{target.attr} desyncs "
+                    "master metadata from worker contents; use "
+                    "fill_partition so conformability is re-checked",
+                )
+                return
+            # worker._store[...] = ... style writes are caught via Subscript
+        if isinstance(target, ast.Subscript):
+            base = target.value
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            if isinstance(base, ast.Attribute) and base.attr in PRIVATE_PROTOCOL:
+                if not (isinstance(base.value, ast.Name) and base.value.id == "self"):
+                    yield self.violation(
+                        ctx,
+                        stmt,
+                        f"write into another object's private {base.attr} "
+                        "store; use the worker/dobject public API",
+                    )
+
+    def _check_call(self, ctx: FileContext, call: ast.Call) -> Iterable[Violation]:
+        fn = call.func
+        if not isinstance(fn, ast.Attribute) or fn.attr not in {"_store", "_info"}:
+            return
+        receiver = fn.value
+        if isinstance(receiver, ast.Name) and receiver.id in ("self", "cls"):
+            return
+        yield self.violation(
+            ctx,
+            call,
+            f"call to private protocol method {fn.attr}() on another object "
+            "bypasses the dobject update protocol; use fill_partition or "
+            "the public accessors",
+        )

@@ -1,0 +1,85 @@
+"""exception-hygiene (EH201): hot paths must not swallow errors.
+
+The transfer streams, the Distributed R engine, and the Vertica execution
+layer run work on thread pools; an exception silently caught there corrupts
+results instead of failing the query.  In ``src/repro/transfer/``,
+``src/repro/dr/``, and ``src/repro/vertica/`` this checker flags:
+
+* bare ``except:`` — always wrong (it also catches ``KeyboardInterrupt``);
+* ``except Exception`` / ``except BaseException`` handlers that neither
+  re-``raise`` nor translate the error into a :mod:`repro.errors` type.
+
+Translating means the handler body raises *some* exception — the usual
+pattern here is ``raise TransferError(...) from exc``.  Handlers that log
+and continue must be narrowed to the specific expected exception type or
+carry an inline suppression with a justification.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.core import Checker, FileContext, Violation, register
+
+HOT_PATHS = ("src/repro/transfer/", "src/repro/dr/", "src/repro/vertica/")
+OVERBROAD = {"Exception", "BaseException"}
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    node = handler.type
+    if node is None:
+        return []
+    exprs = node.elts if isinstance(node, ast.Tuple) else [node]
+    names: list[str] = []
+    for expr in exprs:
+        if isinstance(expr, ast.Name):
+            names.append(expr.id)
+        elif isinstance(expr, ast.Attribute):
+            names.append(expr.attr)
+    return names
+
+
+def _handler_raises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+@register
+class ExceptionHygieneChecker(Checker):
+    rule = "exception-hygiene"
+    code = "EH201"
+    description = (
+        "no bare/overbroad except clauses that swallow errors on the "
+        "transfer/dr/vertica hot paths; translate into repro.errors types"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.endswith(".py") and any(
+            relpath.startswith(prefix) for prefix in HOT_PATHS
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare 'except:' swallows every error (including "
+                    "KeyboardInterrupt); catch the specific exception and "
+                    "translate it into a repro.errors type",
+                )
+                continue
+            overbroad = [n for n in _caught_names(node) if n in OVERBROAD]
+            if overbroad and not _handler_raises(node):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"'except {overbroad[0]}' swallows errors on a hot path; "
+                    "re-raise or translate into a repro.errors type "
+                    "(e.g. 'raise TransferError(...) from exc')",
+                )

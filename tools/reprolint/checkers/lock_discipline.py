@@ -1,0 +1,229 @@
+"""lock-discipline (RL101): shared-state mutation must hold the class lock.
+
+The transfer/DR/Vertica engines guard shared per-object state with
+``threading.Lock`` (or sibling primitives).  In any class whose ``__init__``
+creates such a primitive, every method that *mutates* an underscore-prefixed
+``self._x`` attribute must do so inside a ``with self.<lock>:`` block, where
+``<lock>`` is one of the class's lock attributes.
+
+Conventions understood by the checker (all used in this codebase):
+
+* ``__init__`` / ``__post_init__`` and helpers invoked from ``__init__``
+  (``self._init_foo(...)``) are exempt — the object is not yet shared.
+* Methods whose name ends in ``_locked`` are exempt: by convention they are
+  only called with the lock already held (see ``DistributedFileSystem`` and
+  ``ResourceManager``).
+* Reads are never flagged; only Assign/AugAssign/AnnAssign/Delete targets,
+  subscript stores (``self._x[k] = v``), and calls to known mutating methods
+  (``self._x.append(...)`` etc.).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.core import Checker, FileContext, Violation, register
+
+SYNC_FACTORIES = {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition"}
+# Only mutex-like primitives can guard state; holding a semaphore slot does
+# not exclude other mutators, so it never satisfies the rule.
+GUARD_FACTORIES = {"Lock", "RLock", "Condition"}
+
+MUTATOR_METHODS = {
+    "append", "appendleft", "add", "insert", "extend", "update",
+    "setdefault", "pop", "popitem", "popleft", "remove", "discard",
+    "clear", "sort", "reverse",
+}
+
+
+def _factory_name(node: ast.AST) -> str | None:
+    """``threading.Lock()`` / ``Lock()`` / ``threading.BoundedSemaphore(n)``…"""
+    if not isinstance(node, ast.Call):
+        return None
+    fn = node.func
+    if isinstance(fn, ast.Attribute) and fn.attr in SYNC_FACTORIES:
+        return fn.attr
+    if isinstance(fn, ast.Name) and fn.id in SYNC_FACTORIES:
+        return fn.id
+    return None
+
+
+def _self_attr(node: ast.AST) -> str | None:
+    """Return the attribute name for ``self.<attr>`` expressions."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+class _ClassFacts:
+    """What the checker learned about one class."""
+
+    def __init__(self) -> None:
+        self.lock_attrs: set[str] = set()
+        self.creates_sync = False
+        self.init_helpers: set[str] = set()
+
+
+def _gather_class_facts(cls: ast.ClassDef) -> _ClassFacts:
+    facts = _ClassFacts()
+    for stmt in cls.body:
+        if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        is_init = stmt.name in ("__init__", "__post_init__")
+        for node in ast.walk(stmt):
+            if _factory_name(node) is not None:
+                facts.creates_sync = True
+            if (
+                isinstance(node, ast.Assign)
+                and _factory_name(node.value) in GUARD_FACTORIES
+            ):
+                for target in node.targets:
+                    attr = _self_attr(target)
+                    if attr is not None:
+                        facts.lock_attrs.add(attr)
+            if is_init and isinstance(node, ast.Call):
+                attr = _self_attr(node.func)
+                if attr is not None:
+                    facts.init_helpers.add(attr)
+    return facts
+
+
+def _mutated_self_attrs(stmt: ast.stmt) -> list[tuple[str, ast.AST]]:
+    """(attr, node) pairs for every ``self._x`` mutation in one statement,
+    not descending into nested statement bodies (handled by the walker)."""
+    found: list[tuple[str, ast.AST]] = []
+
+    def check_target(target: ast.AST, node: ast.AST) -> None:
+        attr = _self_attr(target)
+        if attr is not None and attr.startswith("_"):
+            found.append((attr, node))
+            return
+        if isinstance(target, ast.Subscript):
+            # self._x[k] = v  (store through a container attribute)
+            base = target.value
+            while isinstance(base, ast.Subscript):
+                base = base.value
+            attr = _self_attr(base)
+            if attr is not None and attr.startswith("_"):
+                found.append((attr, node))
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                check_target(element, node)
+
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            check_target(target, stmt)
+    elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+        if isinstance(stmt, ast.AnnAssign) and stmt.value is None:
+            return found
+        check_target(stmt.target, stmt)
+    elif isinstance(stmt, ast.Delete):
+        for target in stmt.targets:
+            check_target(target, stmt)
+    elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        fn = stmt.value.func
+        if isinstance(fn, ast.Attribute) and fn.attr in MUTATOR_METHODS:
+            attr = _self_attr(fn.value)
+            if attr is not None and attr.startswith("_"):
+                found.append((attr, stmt))
+    return found
+
+
+def _with_holds_class_lock(stmt: ast.With, lock_attrs: set[str]) -> bool:
+    for item in stmt.items:
+        attr = _self_attr(item.context_expr)
+        if attr is not None and attr in lock_attrs:
+            return True
+    return False
+
+
+@register
+class LockDisciplineChecker(Checker):
+    rule = "lock-discipline"
+    code = "RL101"
+    description = (
+        "in classes that create threading synchronization primitives, "
+        "mutations of self._* shared attributes must hold the class lock"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                violations.extend(self._check_class(ctx, node))
+        return violations
+
+    def _check_class(self, ctx: FileContext, cls: ast.ClassDef) -> Iterable[Violation]:
+        facts = _gather_class_facts(cls)
+        if not facts.creates_sync:
+            return
+        exempt = {"__init__", "__post_init__"} | facts.init_helpers
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name in exempt or stmt.name.endswith("_locked"):
+                continue
+            yield from self._check_method(ctx, cls, stmt, facts)
+
+    def _check_method(
+        self,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        facts: _ClassFacts,
+    ) -> Iterable[Violation]:
+        # Walk the statement tree, tracking whether a class lock is held.
+        # Nested function/class definitions are skipped (conservative: they
+        # run later, with unknown lock state).
+        def walk(stmts: list[ast.stmt], locked: bool) -> Iterable[Violation]:
+            for stmt in stmts:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                    continue
+                for attr, node in _mutated_self_attrs(stmt):
+                    if attr in facts.lock_attrs:
+                        continue
+                    if not locked:
+                        yield self._report(ctx, cls, method, node, attr, facts)
+                if isinstance(stmt, ast.With):
+                    inner = locked or _with_holds_class_lock(stmt, facts.lock_attrs)
+                    yield from walk(stmt.body, inner)
+                elif isinstance(stmt, (ast.If, ast.While, ast.For, ast.AsyncFor)):
+                    yield from walk(stmt.body, locked)
+                    yield from walk(stmt.orelse, locked)
+                elif isinstance(stmt, ast.Try):
+                    yield from walk(stmt.body, locked)
+                    for handler in stmt.handlers:
+                        yield from walk(handler.body, locked)
+                    yield from walk(stmt.orelse, locked)
+                    yield from walk(stmt.finalbody, locked)
+
+        yield from walk(method.body, locked=False)
+
+    def _report(
+        self,
+        ctx: FileContext,
+        cls: ast.ClassDef,
+        method: ast.FunctionDef | ast.AsyncFunctionDef,
+        node: ast.AST,
+        attr: str,
+        facts: _ClassFacts,
+    ) -> Violation:
+        if facts.lock_attrs:
+            locks = " / ".join(f"self.{name}" for name in sorted(facts.lock_attrs))
+            hint = f"hold {locks} (or rename the method *_locked if callers hold it)"
+        else:
+            hint = (
+                "class creates synchronization primitives but has no lock "
+                "attribute; add a self._lock guarding this state"
+            )
+        return self.violation(
+            ctx,
+            node,
+            f"{cls.name}.{method.name} mutates shared attribute "
+            f"self.{attr} outside a lock — {hint}",
+        )

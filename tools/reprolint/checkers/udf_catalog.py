@@ -1,0 +1,128 @@
+"""udf-catalog (UC401): prediction UDFs must be installed and documented.
+
+"Users have the flexibility to create their own prediction functions …
+and register them with Vertica" (§5) — but the *built-in* ones must always
+be present: the SQL front end resolves ``glmPredict`` & co. through the
+catalog, and the docs are the contract users program against.
+
+This is a project-scope checker.  It cross-references three artifacts:
+
+1. every public ``TransformFunction`` subclass in
+   ``src/repro/deploy/predict_functions.py`` that declares a class-level
+   ``name = "..."`` must be returned by ``standard_prediction_functions()``
+   (that list is what ``VerticaCluster.install_standard_functions``
+   registers in the catalog);
+2. ``install_standard_functions`` in ``src/repro/vertica/cluster.py`` must
+   still call ``standard_prediction_functions``;
+3. each UDF name must appear in ``docs/sql_reference.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.core import Checker, ProjectContext, Violation, register
+
+PREDICT_MODULE = "src/repro/deploy/predict_functions.py"
+CLUSTER_MODULE = "src/repro/vertica/cluster.py"
+SQL_REFERENCE = "docs/sql_reference.md"
+
+
+def _class_udf_names(tree: ast.Module) -> dict[str, str]:
+    """Public class name -> declared UDF name (class-level ``name = "..."``)."""
+    out: dict[str, str] = {}
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef) or node.name.startswith("_"):
+            continue
+        for stmt in node.body:
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == "name"
+                and isinstance(stmt.value, ast.Constant)
+                and isinstance(stmt.value.value, str)
+                and stmt.value.value
+            ):
+                out[node.name] = stmt.value.value
+    return out
+
+
+def _standard_function_classes(tree: ast.Module) -> set[str]:
+    """Class names instantiated inside ``standard_prediction_functions``."""
+    for node in tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name == "standard_prediction_functions":
+            return {
+                sub.func.id
+                for sub in ast.walk(node)
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+            }
+    return set()
+
+
+@register
+class UdfCatalogChecker(Checker):
+    rule = "udf-catalog"
+    code = "UC401"
+    description = (
+        "every built-in prediction UDF must be registered via "
+        "standard_prediction_functions() and documented in docs/sql_reference.md"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        source = project.read(PREDICT_MODULE)
+        if source is None:
+            yield Violation(
+                rule=self.rule, code=self.code, path=PREDICT_MODULE,
+                line=1, col=0, symbol="<module>",
+                message="prediction UDF module is missing",
+            )
+            return
+        tree = ast.parse(source, filename=PREDICT_MODULE)
+        udf_names = _class_udf_names(tree)
+        standard = _standard_function_classes(tree)
+        docs = project.read(SQL_REFERENCE) or ""
+        cluster_src = project.read(CLUSTER_MODULE) or ""
+
+        if "standard_prediction_functions" not in cluster_src:
+            yield Violation(
+                rule=self.rule, code=self.code, path=CLUSTER_MODULE,
+                line=1, col=0, symbol="VerticaCluster.install_standard_functions",
+                message=(
+                    "install_standard_functions no longer registers "
+                    "standard_prediction_functions(); built-in prediction "
+                    "UDFs would be missing from the catalog"
+                ),
+            )
+
+        for cls_name, udf_name in sorted(udf_names.items()):
+            line = _class_line(tree, cls_name)
+            if cls_name not in standard:
+                yield Violation(
+                    rule=self.rule, code=self.code, path=PREDICT_MODULE,
+                    line=line, col=0, symbol=cls_name,
+                    message=(
+                        f"prediction UDF {udf_name!r} ({cls_name}) is not "
+                        "returned by standard_prediction_functions(); it will "
+                        "never be registered in the Vertica catalog"
+                    ),
+                )
+            if udf_name not in docs:
+                yield Violation(
+                    rule=self.rule, code=self.code, path=PREDICT_MODULE,
+                    line=line, col=0, symbol=cls_name,
+                    message=(
+                        f"prediction UDF {udf_name!r} ({cls_name}) is not "
+                        f"documented in {SQL_REFERENCE}; add it to the "
+                        "transform-functions table"
+                    ),
+                )
+
+
+def _class_line(tree: ast.Module, cls_name: str) -> int:
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == cls_name:
+            return node.lineno
+    return 1

@@ -1,0 +1,204 @@
+"""Command-line driver: ``python -m reprolint [paths...]``.
+
+Discovers ``*.py`` files under the given paths (default: ``src tests``),
+runs every registered per-file checker over them on a thread pool, runs the
+project-scope checkers once, filters inline suppressions and baseline
+entries, and prints the remaining findings in ``path:line:col: CODE
+[rule] message`` form.
+
+Exit status: 0 clean (or fully baselined), 1 violations or stale/broken
+baseline entries, 2 usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+from reprolint.baseline import DEFAULT_BASELINE_NAME, format_entry, load_baseline
+from reprolint.core import Checker, FileContext, ProjectContext, Violation, all_checkers
+
+EXCLUDED_DIR_NAMES = {
+    ".git", "__pycache__", ".venv", "venv", "node_modules",
+    ".mypy_cache", ".ruff_cache", ".pytest_cache",
+}
+
+
+def discover_files(root: Path, paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = (root / raw) if not Path(raw).is_absolute() else Path(raw)
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not (set(p.parts) & EXCLUDED_DIR_NAMES)
+            )
+        else:
+            raise FileNotFoundError(f"no such file or directory: {raw}")
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def relpath(root: Path, path: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def check_file(
+    root: Path, path: Path, checkers: list[Checker]
+) -> tuple[list[Violation], list[str]]:
+    """Run per-file checkers on one file; returns (violations, errors)."""
+    rel = relpath(root, path)
+    applicable = [c for c in checkers if c.scope == "file" and c.applies_to(rel)]
+    if not applicable:
+        return [], []
+    try:
+        source = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as exc:
+        return [], [f"{rel}: cannot read file: {exc}"]
+    ctx = FileContext(path, rel, source)
+    try:
+        ctx.tree
+    except SyntaxError as exc:
+        return [], [f"{rel}:{exc.lineno or 1}: syntax error: {exc.msg}"]
+    violations: list[Violation] = []
+    for checker in applicable:
+        for violation in checker.check(ctx):
+            if not ctx.is_suppressed(violation):
+                violations.append(violation)
+    return violations, []
+
+
+def run(
+    root: Path,
+    paths: list[str],
+    select: list[str] | None = None,
+    baseline_path: Path | None = None,
+    jobs: int = 0,
+    out=sys.stdout,
+) -> int:
+    checkers = all_checkers()
+    if select:
+        known = {c.rule for c in checkers}
+        unknown = [r for r in select if r not in known]
+        if unknown:
+            print(f"reprolint: unknown rule(s): {', '.join(unknown)}", file=out)
+            return 2
+        checkers = [c for c in checkers if c.rule in select]
+
+    try:
+        files = discover_files(root, paths)
+    except FileNotFoundError as exc:
+        print(f"reprolint: {exc}", file=out)
+        return 2
+
+    errors: list[str] = []
+    violations: list[Violation] = []
+
+    workers = jobs if jobs > 0 else min(32, (len(files) or 1))
+    with ThreadPoolExecutor(max_workers=workers) as pool:
+        for file_violations, file_errors in pool.map(
+            lambda p: check_file(root, p, checkers), files
+        ):
+            violations.extend(file_violations)
+            errors.extend(file_errors)
+
+    project = ProjectContext(root, files)
+    for checker in checkers:
+        if checker.scope != "project":
+            continue
+        try:
+            violations.extend(checker.check_project(project))
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{checker.rule}: project check failed: {exc}")
+
+    baseline = load_baseline(
+        baseline_path if baseline_path is not None else root / DEFAULT_BASELINE_NAME
+    )
+    errors.extend(baseline.errors)
+
+    reported = [v for v in violations if not baseline.matches(v)]
+    reported.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+
+    for error in errors:
+        print(f"error: {error}", file=out)
+    for violation in reported:
+        print(violation.render(), file=out)
+
+    stale = baseline.stale_entries()
+    for entry in stale:
+        print(
+            f"stale-baseline: {DEFAULT_BASELINE_NAME}:{entry.line}: "
+            f"{entry.rule} at {entry.path}:{entry.symbol} no longer fires — "
+            "remove the entry",
+            file=out,
+        )
+
+    if reported:
+        print(file=out)
+        print("To accept a finding long-term, add a baseline line like:", file=out)
+        print(f"  {format_entry(reported[0])}", file=out)
+
+    accepted = len(violations) - len(reported)
+    summary = (
+        f"reprolint: {len(files)} files, {len(reported)} violation(s)"
+        + (f", {accepted} baselined" if accepted else "")
+        + (f", {len(stale)} stale baseline entr(y/ies)" if stale else "")
+        + (f", {len(errors)} error(s)" if errors else "")
+    )
+    print(summary, file=out)
+    return 1 if (reported or stale or errors) else 0
+
+
+def list_rules(out=sys.stdout) -> int:
+    for checker in all_checkers():
+        scope = "project" if checker.scope == "project" else "file"
+        print(f"{checker.code}  {checker.rule:<20} ({scope})  {checker.description}", file=out)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="Project-specific static analysis for the Vertica/Distributed R reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests"],
+                        help="files or directories to analyze (default: src tests)")
+    parser.add_argument("--root", default=".",
+                        help="repository root (for relative paths and the baseline)")
+    parser.add_argument("--select", default="",
+                        help="comma-separated rule names to run (default: all)")
+    parser.add_argument("--baseline", default=None,
+                        help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})")
+    parser.add_argument("--jobs", type=int, default=0,
+                        help="analysis thread count (default: one per file, capped)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the registered rules and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        return list_rules()
+
+    root = Path(args.root)
+    if not root.is_dir():
+        print(f"reprolint: --root {args.root!r} is not a directory", file=sys.stderr)
+        return 2
+    select = [r.strip() for r in args.select.split(",") if r.strip()] or None
+    baseline_path = Path(args.baseline) if args.baseline else None
+    paths = args.paths or ["src", "tests"]
+    return run(root, paths, select=select, baseline_path=baseline_path, jobs=args.jobs)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

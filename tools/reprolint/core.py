@@ -1,0 +1,244 @@
+"""Core abstractions for the reprolint static-analysis framework.
+
+reprolint is a project-specific linter: each :class:`Checker` encodes one
+invariant the reproduction depends on but the type system cannot see (lock
+discipline around shared state, exception translation on hot paths, the
+darray/dframe conformability protocol, UDF catalog consistency, simulation
+determinism, thread hygiene).  Checkers register themselves via
+:func:`register` and are driven in parallel over the file set by
+:mod:`reprolint.cli`.
+
+Suppression
+-----------
+A violation can be silenced at the offending line with an inline comment::
+
+    something_flagged()  # reprolint: ignore[lock-discipline]
+    something_flagged()  # reprolint: ignore          (all rules)
+
+or accepted long-term in the checked-in ``reprolint.baseline`` file (see
+:mod:`reprolint.baseline`), which requires a written justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass
+from io import StringIO
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "ProjectContext",
+    "Checker",
+    "register",
+    "all_checkers",
+    "get_checker",
+    "iter_attr_chain",
+]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*ignore(?:\[([a-z0-9_,\- ]+)\])?")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a location.
+
+    ``symbol`` is the dotted name of the enclosing class/function (or
+    ``<module>``) — the stable half of the baseline fingerprint, so accepted
+    findings survive unrelated line-number churn.
+    """
+
+    rule: str
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.rule}] {self.message}"
+        )
+
+
+class FileContext:
+    """Everything a per-file checker needs: source, AST, suppressions."""
+
+    def __init__(self, path: Path, relpath: str, source: str) -> None:
+        self.path = path
+        self.relpath = relpath
+        self.source = source
+        self._tree: ast.Module | None = None
+        self._suppressions: dict[int, set[str] | None] | None = None
+        self._spans: list[tuple[int, int, str]] | None = None
+
+    @property
+    def tree(self) -> ast.Module:
+        if self._tree is None:
+            self._tree = ast.parse(self.source, filename=str(self.path))
+        return self._tree
+
+    def suppressed_rules(self, line: int) -> set[str] | None:
+        """Rules suppressed at ``line``: a set of rule names, ``None`` for
+        a bare ``reprolint: ignore`` (all rules), or an empty set when the
+        line carries no suppression comment."""
+        if self._suppressions is None:
+            self._suppressions = _scan_suppressions(self.source)
+        return self._suppressions.get(line, set())
+
+    def is_suppressed(self, violation: Violation) -> bool:
+        rules = self.suppressed_rules(violation.line)
+        if rules is None:
+            return True
+        return violation.rule in rules
+
+    def symbol_at(self, line: int) -> str:
+        """Dotted name of the innermost class/function enclosing ``line``."""
+        if self._spans is None:
+            self._spans = _collect_symbol_spans(self.tree)
+        best = ""
+        best_span: int | None = None
+        for start, end, name in self._spans:
+            if start <= line <= end:
+                span = end - start
+                if best_span is None or span <= best_span:
+                    best, best_span = name, span
+        return best or "<module>"
+
+
+def _collect_symbol_spans(tree: ast.Module) -> list[tuple[int, int, str]]:
+    """(start_line, end_line, qualname) for every def/class in the module."""
+    spans: list[tuple[int, int, str]] = []
+
+    def visit(node: ast.AST, prefix: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                name = f"{prefix}.{child.name}" if prefix else child.name
+                end = getattr(child, "end_lineno", None) or child.lineno
+                spans.append((child.lineno, end, name))
+                visit(child, name)
+            else:
+                visit(child, prefix)
+
+    visit(tree, "")
+    return spans
+
+
+def _scan_suppressions(source: str) -> dict[int, set[str] | None]:
+    """Parse ``# reprolint: ignore[...]`` comments via the tokenizer."""
+    out: dict[int, set[str] | None] = {}
+    try:
+        for tok in tokenize.generate_tokens(StringIO(source).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            if match.group(1) is None:
+                out[tok.start[0]] = None
+            else:
+                rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+                existing = out.get(tok.start[0], set())
+                out[tok.start[0]] = None if existing is None else (existing | rules)
+    except (tokenize.TokenizeError, IndentationError):
+        pass
+    return out
+
+
+class ProjectContext:
+    """Whole-project view for cross-file checkers (e.g. UDF catalog)."""
+
+    def __init__(self, root: Path, files: list[Path]) -> None:
+        self.root = root
+        self.files = files
+
+    def read(self, relative: str) -> str | None:
+        path = self.root / relative
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+
+class Checker:
+    """Base class for one lint rule.
+
+    Subclasses set ``rule`` (kebab-case identifier used in suppressions and
+    baselines), ``code`` (short diagnostic code), ``description``, and either
+    override :meth:`check` (per-file, ``scope = "file"``) or
+    :meth:`check_project` (``scope = "project"``).
+    """
+
+    rule: str = ""
+    code: str = ""
+    description: str = ""
+    scope: str = "file"
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.endswith(".py")
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        return ()
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        return ()
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Violation(
+            rule=self.rule,
+            code=self.code,
+            path=ctx.relpath,
+            line=line,
+            col=col,
+            message=message,
+            symbol=ctx.symbol_at(line),
+        )
+
+
+_REGISTRY: dict[str, Checker] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    """Class decorator: instantiate the checker and add it to the registry."""
+    instance = cls()
+    if not instance.rule or not instance.code:
+        raise ValueError(f"checker {cls.__name__} must define rule and code")
+    if instance.rule in _REGISTRY:
+        raise ValueError(f"duplicate checker rule {instance.rule!r}")
+    _REGISTRY[instance.rule] = instance
+    return cls
+
+
+def all_checkers() -> list[Checker]:
+    # Importing the package populates the registry.
+    from reprolint import checkers as _  # noqa: F401
+
+    return [_REGISTRY[rule] for rule in sorted(_REGISTRY)]
+
+
+def get_checker(rule: str) -> Checker:
+    from reprolint import checkers as _  # noqa: F401
+
+    return _REGISTRY[rule]
+
+
+def iter_attr_chain(node: ast.AST) -> Iterator[str]:
+    """Yield name parts left-to-right for a dotted expression (``a.b.c``)."""
+    parts: list[str] = []
+    cur = node
+    while isinstance(cur, ast.Attribute):
+        parts.append(cur.attr)
+        cur = cur.value
+    if isinstance(cur, ast.Name):
+        parts.append(cur.id)
+    yield from reversed(parts)

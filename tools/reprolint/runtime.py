@@ -1,0 +1,261 @@
+"""Runtime race probe: lock-order inversion detection for the test suite.
+
+Static analysis proves each *individual* mutation holds a lock; it cannot
+see the *order* in which different locks nest across threads.  A pair of
+code paths that acquire ``A`` then ``B`` on one thread and ``B`` then ``A``
+on another deadlocks only under unlucky scheduling — exactly the failure
+mode that survives CI and corrupts a production run.
+
+:class:`InstrumentedLock` wraps a real ``threading.Lock`` and reports every
+acquisition to a global :class:`LockOrderMonitor`, which maintains a
+directed lock-order graph (edge ``A -> B`` means "B was acquired while A was
+held", remembered *across* threads for the life of the process).  Before a
+thread blocks on a lock, the monitor checks whether the new edges would
+close a cycle; if so it raises :class:`LockOrderInversion` immediately —
+converting a latent deadlock into a deterministic test failure with both
+acquisition sites in the message.
+
+Opt in from the test suite by setting ``REPROLINT_LOCK_CHECK=1`` in the
+environment (``tests/conftest.py`` calls :func:`maybe_install_from_env`),
+which monkeypatches ``threading.Lock`` so every lock the engines create is
+instrumented.  The probe is off by default: it adds per-acquisition
+bookkeeping and is meant for CI's race-probe job and targeted local runs::
+
+    REPROLINT_LOCK_CHECK=1 python -m pytest -x -q
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import traceback
+
+__all__ = [
+    "LockOrderInversion",
+    "LockOrderMonitor",
+    "InstrumentedLock",
+    "install",
+    "uninstall",
+    "is_installed",
+    "maybe_install_from_env",
+    "global_monitor",
+]
+
+# Captured before any monkeypatching so the monitor's own mutex — and the
+# real lock inside every InstrumentedLock — is always a genuine primitive.
+_REAL_LOCK_FACTORY = threading.Lock
+
+ENV_VAR = "REPROLINT_LOCK_CHECK"
+
+_TOKENS = itertools.count(1)
+
+
+class LockOrderInversion(RuntimeError):
+    """Two locks were acquired in opposite orders on different code paths."""
+
+
+def _call_site(skip_prefixes: tuple[str, ...] = ("reprolint",)) -> str:
+    """First stack frame outside reprolint itself — the user's acquire site."""
+    for frame in reversed(traceback.extract_stack()):
+        filename = frame.filename.replace("\\", "/")
+        if any(f"/{p}/" in filename or f"{p}/" in filename for p in skip_prefixes):
+            continue
+        if "/threading.py" in filename:
+            continue
+        return f"{filename}:{frame.lineno} in {frame.name}"
+    return "<unknown>"
+
+
+class LockOrderMonitor:
+    """Process-wide lock-order graph with preemptive cycle detection."""
+
+    def __init__(self) -> None:
+        self._mu = _REAL_LOCK_FACTORY()
+        # token -> set of tokens acquired while it was held
+        self._edges: dict[int, set[int]] = {}
+        # (held_token, acquired_token) -> "thread / site" of first observation
+        self._edge_sites: dict[tuple[int, int], str] = {}
+        self._names: dict[int, str] = {}
+        self._held = threading.local()
+
+    # -- held-lock stack (per thread) -----------------------------------
+
+    def _stack(self) -> list[int]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return stack
+
+    # -- events ----------------------------------------------------------
+
+    def before_acquire(self, lock: "InstrumentedLock") -> None:
+        """Record ordering edges and fail on inversion, before blocking."""
+        held = self._stack()
+        if not held:
+            return
+        site = _call_site()
+        with self._mu:
+            self._names.setdefault(lock.token, lock.name)
+            for held_token in held:
+                if held_token == lock.token:
+                    continue  # re-acquiring a Lock deadlocks regardless; out of scope
+                cycle = self._path_exists(lock.token, held_token)
+                if cycle is not None:
+                    raise LockOrderInversion(self._describe(held_token, lock, cycle, site))
+                edge = (held_token, lock.token)
+                if edge not in self._edge_sites:
+                    self._edges.setdefault(held_token, set()).add(lock.token)
+                    self._edge_sites[edge] = (
+                        f"thread {threading.current_thread().name!r} at {site}"
+                    )
+
+    def after_acquire(self, lock: "InstrumentedLock") -> None:
+        self._stack().append(lock.token)
+
+    def after_release(self, lock: "InstrumentedLock") -> None:
+        stack = self._stack()
+        if lock.token in stack:
+            stack.reverse()
+            stack.remove(lock.token)  # out-of-order release: drop first from the top
+            stack.reverse()
+
+    def register(self, lock: "InstrumentedLock") -> None:
+        with self._mu:
+            self._names[lock.token] = lock.name
+
+    # -- graph helpers (caller holds self._mu) ---------------------------
+
+    def _path_exists(self, start: int, goal: int) -> list[int] | None:
+        """DFS: path start -> ... -> goal in the recorded order graph."""
+        if start == goal:
+            return [start]
+        stack = [(start, [start])]
+        seen = {start}
+        while stack:
+            node, path = stack.pop()
+            for succ in self._edges.get(node, ()):
+                if succ == goal:
+                    return path + [succ]
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append((succ, path + [succ]))
+        return None
+
+    def _describe(
+        self, held_token: int, lock: "InstrumentedLock", cycle: list[int], site: str
+    ) -> str:
+        held_name = self._names.get(held_token, f"lock#{held_token}")
+        chain = " -> ".join(self._names.get(t, f"lock#{t}") for t in cycle)
+        edge_site = self._edge_sites.get(
+            (lock.token, cycle[1]) if len(cycle) > 1 else (lock.token, held_token),
+            "an earlier acquisition",
+        )
+        return (
+            f"lock-order inversion: thread {threading.current_thread().name!r} "
+            f"holds {held_name!r} and wants {lock.name!r} at {site}, but the "
+            f"opposite order {chain} -> {held_name!r} was already observed "
+            f"({edge_site}). These paths can deadlock."
+        )
+
+    # -- introspection / test support ------------------------------------
+
+    def edge_count(self) -> int:
+        with self._mu:
+            return sum(len(v) for v in self._edges.values())
+
+    def reset(self) -> None:
+        with self._mu:
+            self._edges.clear()
+            self._edge_sites.clear()
+            self._names.clear()
+
+
+_GLOBAL_MONITOR = LockOrderMonitor()
+
+
+def global_monitor() -> LockOrderMonitor:
+    return _GLOBAL_MONITOR
+
+
+class InstrumentedLock:
+    """Drop-in ``threading.Lock`` replacement that reports to a monitor.
+
+    Fully duck-typed: supports ``acquire(blocking, timeout)``, ``release``,
+    ``locked``, and the context-manager protocol, so it also works as the
+    inner lock of a ``threading.Condition`` (as used by ``queue.Queue``).
+    """
+
+    def __init__(self, name: str | None = None,
+                 monitor: LockOrderMonitor | None = None) -> None:
+        self._lock = _REAL_LOCK_FACTORY()
+        self.token = next(_TOKENS)
+        self.name = name or f"Lock@{_call_site()}"
+        self.monitor = monitor if monitor is not None else _GLOBAL_MONITOR
+        self.monitor.register(self)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        self.monitor.before_acquire(self)
+        ok = self._lock.acquire(blocking, timeout)
+        if ok:
+            self.monitor.after_acquire(self)
+        return ok
+
+    def release(self) -> None:
+        self._lock.release()
+        self.monitor.after_release(self)
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def _at_fork_reinit(self) -> None:
+        # Matches the C lock API; stdlib fork hooks call this on children.
+        self._lock._at_fork_reinit()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._lock.locked() else "unlocked"
+        return f"<InstrumentedLock {self.name!r} {state}>"
+
+
+_installed = False
+
+
+def install() -> None:
+    """Monkeypatch ``threading.Lock`` so new locks are instrumented.
+
+    Locks are created in ``__init__`` of the engine classes, so installing
+    before object construction (e.g. at conftest import time) instruments
+    every lock the engines use.  Pre-existing locks are untouched.
+    """
+    global _installed
+    if _installed:
+        return
+    threading.Lock = InstrumentedLock  # type: ignore[assignment]
+    _installed = True
+
+
+def uninstall() -> None:
+    global _installed
+    if not _installed:
+        return
+    threading.Lock = _REAL_LOCK_FACTORY  # type: ignore[assignment]
+    _installed = False
+
+
+def is_installed() -> bool:
+    return _installed
+
+
+def maybe_install_from_env() -> bool:
+    """Install the probe when ``REPROLINT_LOCK_CHECK`` is truthy; else no-op."""
+    if os.environ.get(ENV_VAR, "").lower() in ("1", "true", "yes", "on"):
+        install()
+        return True
+    return False
