@@ -1,0 +1,91 @@
+"""Ablation: streaming-pipeline batch size x queue depth.
+
+Sweeps ``PipelineConfig(batch_rows, queue_depth)`` over the tentpole
+workload — a full-table scan feeding ``ExportToDistributedR`` — and records
+throughput next to the memory telemetry (``peak_batch_bytes``,
+``pipeline_inflight_bytes_peak``).  The qualitative shape: peak in-flight
+bytes grow with both knobs (more rows per batch, more batches queued),
+while throughput is flat-ish past small batches — the knobs trade memory
+for scheduling overhead, not correctness.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dr import start_session
+from repro.transfer import db2darray
+from repro.vertica import HashSegmentation, PipelineConfig, VerticaCluster
+
+ROWS = 36_000
+FEATURES = 4
+NODES = 3
+LOAD_ROUNDS = 4  # several bulk loads -> several row groups per segment
+
+
+def build(mode: str = "streaming", batch_rows: int = 8192,
+          queue_depth: int = 4) -> tuple[VerticaCluster, list[str]]:
+    rng = np.random.default_rng(71)
+    names = [f"c{j}" for j in range(FEATURES)]
+    cluster = VerticaCluster(
+        node_count=NODES,
+        pipeline=PipelineConfig(mode=mode, batch_rows=batch_rows,
+                                queue_depth=queue_depth),
+    )
+    per_round = ROWS // LOAD_ROUNDS
+    first = {"k": rng.integers(0, 1_000_000, per_round),
+             **{name: rng.normal(size=per_round) for name in names}}
+    cluster.create_table_like("bench", first, HashSegmentation("k"))
+    cluster.bulk_load("bench", first)
+    for _ in range(LOAD_ROUNDS - 1):
+        cluster.bulk_load("bench", {
+            "k": rng.integers(0, 1_000_000, per_round),
+            **{name: rng.normal(size=per_round) for name in names},
+        })
+    return cluster, names
+
+
+def load_once(cluster: VerticaCluster, names: list[str]) -> None:
+    with start_session(node_count=NODES, instances_per_node=2) as session:
+        result = db2darray(cluster, "bench", names, session, chunk_rows=4096)
+        assert result.nrow == ROWS
+
+
+@pytest.mark.parametrize("batch_rows,queue_depth", [
+    (1024, 2),
+    (4096, 2),
+    (4096, 8),
+    (16384, 4),
+])
+def test_ablation_batchsize_queue_depth(benchmark, batch_rows, queue_depth):
+    cluster, names = build(batch_rows=batch_rows, queue_depth=queue_depth)
+    benchmark.pedantic(lambda: load_once(cluster, names),
+                       rounds=3, iterations=1)
+    if benchmark.stats is not None:  # absent under --benchmark-disable
+        mean_seconds = benchmark.stats.stats.mean
+        benchmark.extra_info["rows_per_second"] = round(ROWS / mean_seconds)
+    benchmark.extra_info.update({
+        "batch_rows": batch_rows,
+        "queue_depth": queue_depth,
+        "peak_batch_bytes": int(cluster.telemetry.get("peak_batch_bytes")),
+        "pipeline_inflight_bytes_peak": int(
+            cluster.telemetry.get("pipeline_inflight_bytes_peak")),
+        "batches_scanned": int(cluster.telemetry.get("batches_scanned")),
+    })
+
+
+def test_ablation_smaller_batches_lower_peak():
+    peaks = {}
+    for batch_rows in (1024, 16384):
+        cluster, names = build(batch_rows=batch_rows, queue_depth=2)
+        load_once(cluster, names)
+        peaks[batch_rows] = cluster.telemetry.get("pipeline_inflight_bytes_peak")
+    assert 0 < peaks[1024] < peaks[16384], peaks
+
+
+def test_ablation_streaming_beats_eager_on_peak_memory():
+    results = {}
+    for mode in ("eager", "streaming"):
+        cluster, names = build(mode=mode, batch_rows=2048, queue_depth=2)
+        load_once(cluster, names)
+        results[mode] = cluster.telemetry.get("pipeline_inflight_bytes_peak")
+    assert 0 < results["streaming"] < results["eager"], results

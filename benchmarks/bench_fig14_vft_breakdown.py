@@ -11,6 +11,7 @@ from benchmarks.conftest import build_numeric_table
 from repro.dr import start_session
 from repro.perfmodel import model_vft_transfer
 from repro.transfer import db2darray
+from repro.vertica import PipelineConfig
 
 ROWS = 45_000
 FEATURES = 6
@@ -39,6 +40,23 @@ def test_fig14_vft_load_by_instances(benchmark, cluster_and_names, instances):
                 ("r", model_vft_transfer(400, 12, i).r_seconds),
             )
         })
+        # Before/after the streaming-pipeline refactor: peak in-flight bytes
+        # for the same load under eager (materialize each node's segment)
+        # vs the default streaming execution.
+        benchmark.extra_info.update(_pipeline_peak_by_mode(instances))
+
+
+def _pipeline_peak_by_mode(instances: int) -> dict[str, int]:
+    peaks = {}
+    for mode in ("eager", "streaming"):
+        cluster, names = build_numeric_table(3, ROWS, FEATURES, seed=14)
+        cluster.pipeline = PipelineConfig(mode=mode)
+        with start_session(node_count=3, instances_per_node=instances) as session:
+            db2darray(cluster, "bench", names, session, chunk_rows=2048)
+        peaks[f"{mode}_inflight_bytes_peak"] = int(
+            cluster.telemetry.get("pipeline_inflight_bytes_peak"))
+    assert 0 < peaks["streaming_inflight_bytes_peak"] < peaks["eager_inflight_bytes_peak"]
+    return peaks
 
 
 def test_fig14_shape_db_constant_r_shrinks():

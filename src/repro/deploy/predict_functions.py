@@ -78,6 +78,24 @@ class _PredictBase(TransformFunction):
         ctx.cluster.telemetry.add("rows_predicted", len(features))
         return {self.output_column: predictions}
 
+    def process_stream(self, ctx, batches, params):
+        """Score batchwise: resolve the model once, then predict each batch
+        as it arrives, holding one batch of features at a time.  Rows score
+        independently in every model here, so the concatenated predictions
+        match the eager single-matrix scoring exactly.
+        """
+        model = self._resolve_model(ctx, params)
+        chunks: list[np.ndarray] = []
+        for args in batches:
+            features = _stack_features(args)
+            if len(features) == 0:
+                continue
+            chunks.append(np.asarray(self.score(model, features, params)))
+            ctx.cluster.telemetry.add("rows_predicted", len(features))
+        if not chunks:
+            return {self.output_column: np.empty(0, dtype=self.output_sql_type.numpy_dtype)}
+        return {self.output_column: np.concatenate(chunks)}
+
 
 class GlmPredict(_PredictBase):
     """Apply a deployed GLM's coefficients to table columns.

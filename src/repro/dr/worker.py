@@ -48,6 +48,12 @@ class ShmBuffer:
         with self._lock:
             return sum(len(c) for c in self._chunks)
 
+    @property
+    def frame_count(self) -> int:
+        """Number of wire frames staged so far (one append per frame)."""
+        with self._lock:
+            return len(self._chunks)
+
 
 class Worker:
     """One Distributed R worker process group."""

@@ -73,6 +73,24 @@ class RowGroup:
             out[name] = self.block(name).values()
         return out
 
+    def might_match(self, ranges: dict, constrained: list[str] | None = None) -> bool:
+        """Zone-map test: can any row satisfy the per-column envelopes?
+
+        ``ranges`` maps column names to objects with ``low``/``high``
+        attributes (:class:`~repro.vertica.pruning.ColumnRange`); columns
+        absent from this row group contribute no constraint.  False means
+        the whole row group can be skipped without decompressing a block.
+        """
+        names = constrained if constrained is not None else list(ranges)
+        for name in names:
+            block = self.columns.get(name)
+            if block is None:
+                continue
+            envelope = ranges[name]
+            if not block.might_contain(envelope.low, envelope.high):
+                return False
+        return True
+
     def validate(self) -> None:
         """Check structural invariants; raises :class:`StorageError` if broken."""
         counts = {name: blk.row_count for name, blk in self.columns.items()}

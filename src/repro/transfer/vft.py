@@ -28,6 +28,7 @@ from repro.errors import TransferError
 from repro.storage.encoding import ColumnSchema, SqlType
 from repro.transfer.policies import TransferPolicy
 from repro.transfer.streams import encode_frame, frames_to_columns, frames_to_matrix
+from repro.vertica.pipeline import concat_batches
 from repro.vertica.udtf import TransformFunction, UdtfContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -97,6 +98,7 @@ class TransferTarget:
         buffer.append(frame)
         self.session.telemetry.add("vft_bytes_received", len(frame))
         self.session.telemetry.add("vft_rows_received", rows)
+        self.session.telemetry.add("vft_frames_received")
 
     def finalize(self, db_node_count: int) -> "DArray | DFrame":
         """Convert staged bytes into a filled darray (or dframe).
@@ -187,8 +189,8 @@ class ExportToDistributedR(TransformFunction):
             ColumnSchema("bytes_sent", SqlType.INTEGER),
         ]
 
-    def process(self, ctx: UdtfContext, args: dict[str, np.ndarray],
-                params: Mapping[str, Any]) -> dict[str, np.ndarray]:
+    @staticmethod
+    def _setup(params: Mapping[str, Any]) -> tuple["TransferTarget", int]:
         token = params.get("target")
         if not token:
             raise TransferError("ExportToDistributedR requires a 'target' parameter")
@@ -196,34 +198,100 @@ class ExportToDistributedR(TransformFunction):
         chunk_rows = int(params.get("chunk_rows", 65_536))
         if chunk_rows < 1:
             raise TransferError(f"chunk_rows must be positive, got {chunk_rows}")
+        return target, chunk_rows
 
-        columns = {name: np.atleast_1d(np.asarray(arr)) for name, arr in args.items()}
-        missing = [c for c in target.columns if c not in columns]
-        if missing:
-            raise TransferError(
-                f"UDF received columns {sorted(columns)}, target expects {target.columns}"
-            )
+    def process(self, ctx: UdtfContext, args: dict[str, np.ndarray],
+                params: Mapping[str, Any]) -> dict[str, np.ndarray]:
+        target, chunk_rows = self._setup(params)
+        sender = _FrameSender(ctx, target)
+        columns = _target_columns(target, args)
         rows = len(next(iter(columns.values()))) if columns else 0
-        total_bytes = 0
-        chunk_index = 0
         for start in range(0, rows, chunk_rows):
             stop = min(start + chunk_rows, rows)
-            chunk = {
-                name: columns[name][start:stop] for name in target.columns
-            }
-            frame = encode_frame(chunk, target.sql_types, codec=ctx.cluster.codec)
-            worker = target.policy.target_worker(
-                ctx.node_index, ctx.instance_index, chunk_index, target.worker_count
-            )
-            target.send_chunk(worker, ctx.node_index, ctx.instance_index,
-                              frame, stop - start)
-            ctx.cluster.telemetry.add("vft_bytes_sent", len(frame))
-            total_bytes += len(frame)
-            chunk_index += 1
+            sender.emit({name: columns[name][start:stop] for name in target.columns},
+                        stop - start)
+        return sender.summary(rows)
+
+    def process_stream(self, ctx: UdtfContext, batches, params: Mapping[str, Any]
+                       ) -> dict[str, np.ndarray]:
+        """Streaming export: push a wire frame as each ``chunk_rows`` window
+        of the instance's batch stream fills, instead of materializing the
+        whole partition first.  Frame boundaries fall at the same row
+        offsets as the eager path, so the wire bytes are identical; peak
+        buffering is one ``chunk_rows`` window, not the instance's slice.
+        """
+        target, chunk_rows = self._setup(params)
+        sender = _FrameSender(ctx, target)
+        buffer: list[dict[str, np.ndarray]] = []
+        buffered = 0
+        total_rows = 0
+        for batch in batches:
+            columns = _target_columns(target, batch)
+            rows = len(next(iter(columns.values()))) if columns else 0
+            if not rows:
+                continue
+            total_rows += rows
+            buffer.append(columns)
+            buffered += rows
+            while buffered >= chunk_rows:
+                taken: list[dict[str, np.ndarray]] = []
+                need = chunk_rows
+                while need:
+                    head = buffer[0]
+                    head_rows = len(next(iter(head.values())))
+                    if head_rows <= need:
+                        taken.append(buffer.pop(0))
+                        need -= head_rows
+                    else:
+                        taken.append({name: arr[:need] for name, arr in head.items()})
+                        buffer[0] = {name: arr[need:] for name, arr in head.items()}
+                        need = 0
+                sender.emit(concat_batches(taken), chunk_rows)
+                buffered -= chunk_rows
+        if buffered:
+            sender.emit(concat_batches(buffer), buffered)
+        return sender.summary(total_rows)
+
+
+def _target_columns(target: TransferTarget,
+                    args: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Validate and order one batch's columns against the target's schema."""
+    columns = {name: np.atleast_1d(np.asarray(arr)) for name, arr in args.items()}
+    missing = [c for c in target.columns if c not in columns]
+    if missing:
+        raise TransferError(
+            f"UDF received columns {sorted(columns)}, target expects {target.columns}"
+        )
+    return {name: columns[name] for name in target.columns}
+
+
+class _FrameSender:
+    """Encodes chunks as wire frames and routes them to workers, keeping the
+    per-instance frame counter both execution modes share."""
+
+    def __init__(self, ctx: UdtfContext, target: TransferTarget) -> None:
+        self.ctx = ctx
+        self.target = target
+        self.chunk_index = 0
+        self.total_bytes = 0
+
+    def emit(self, chunk: dict[str, np.ndarray], rows: int) -> None:
+        ctx, target = self.ctx, self.target
+        frame = encode_frame(chunk, target.sql_types, codec=ctx.cluster.codec)
+        worker = target.policy.target_worker(
+            ctx.node_index, ctx.instance_index, self.chunk_index, target.worker_count
+        )
+        target.send_chunk(worker, ctx.node_index, ctx.instance_index, frame, rows)
+        ctx.cluster.telemetry.add("vft_bytes_sent", len(frame))
+        self.total_bytes += len(frame)
+        self.chunk_index += 1
+
+    def summary(self, rows: int) -> dict[str, np.ndarray]:
+        ctx = self.ctx
         ctx.cluster.telemetry.add("vft_rows_sent", rows)
         return {
             "node": np.asarray([ctx.node_index], dtype=np.int64),
             "instance": np.asarray([ctx.instance_index], dtype=np.int64),
             "rows_sent": np.asarray([rows], dtype=np.int64),
-            "bytes_sent": np.asarray([total_bytes], dtype=np.int64),
+            "bytes_sent": np.asarray([self.total_bytes], dtype=np.int64),
         }

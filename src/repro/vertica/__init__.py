@@ -8,6 +8,7 @@ from repro.vertica.executor import ResultSet
 from repro.vertica.models import ModelRecord, Privilege, RModelsCatalog
 from repro.vertica.node import DatabaseNode, NodeResources
 from repro.vertica.odbc import OdbcConnection
+from repro.vertica.pipeline import PipelineConfig, RecordBatch
 from repro.vertica.segmentation import (
     HashSegmentation,
     RoundRobinSegmentation,
@@ -25,6 +26,8 @@ __all__ = [
     "Table",
     "ResultSet",
     "OdbcConnection",
+    "PipelineConfig",
+    "RecordBatch",
     "DatabaseNode",
     "NodeResources",
     "DistributedFileSystem",

@@ -22,6 +22,13 @@ from repro.vertica.executor import QueryExecutor, ResultSet
 from repro.vertica.models import R_MODELS_TABLE_NAME, RModelsCatalog
 from repro.vertica.node import DatabaseNode, NodeResources
 from repro.vertica.odbc import OdbcConnection
+from repro.vertica.pipeline import (
+    INFLIGHT_BATCHES_GAUGE,
+    INFLIGHT_BYTES_GAUGE,
+    PipelineConfig,
+    batch_nbytes,
+    rechunk,
+)
 from repro.vertica.segmentation import HashSegmentation, RoundRobinSegmentation, SegmentationScheme
 from repro.vertica.sql.parser import parse
 from repro.vertica.table import Table
@@ -42,6 +49,7 @@ class VerticaCluster:
         node_resources: NodeResources | None = None,
         dfs_replication: int = 2,
         executor_threads: int | None = None,
+        pipeline: PipelineConfig | None = None,
     ) -> None:
         if node_count < 1:
             raise CatalogError("cluster requires at least one node")
@@ -56,6 +64,7 @@ class VerticaCluster:
         self.r_models = RModelsCatalog()
         self.telemetry = Telemetry()
         self.executor_threads = executor_threads or max(4, node_count)
+        self.pipeline = pipeline or PipelineConfig()
         self._executor = QueryExecutor(self)
         self._lock = threading.Lock()
         self._prediction_functions_installed = False
@@ -253,10 +262,136 @@ class VerticaCluster:
                                                  ranges=ranges)
             rows = len(next(iter(batch.values()))) if batch else 0
             self.telemetry.add("rows_scanned", rows)
+            self.telemetry.add("batches_scanned")
+            self.telemetry.observe_max("peak_batch_bytes", batch_nbytes(batch))
             return batch
 
         with ThreadPoolExecutor(max_workers=min(self.node_count, self.executor_threads)) as pool:
-            return list(pool.map(scan, range(self.node_count)))
+            batches = list(pool.map(scan, range(self.node_count)))
+        # The whole-table materialization is the eager path's in-flight
+        # footprint — recorded on the same gauge the streaming pipeline
+        # charges per live batch, so the two modes are directly comparable.
+        self.telemetry.observe_max(
+            f"{INFLIGHT_BYTES_GAUGE}_peak",
+            sum(batch_nbytes(b) for b in batches),
+        )
+        self.telemetry.observe_max(
+            f"{INFLIGHT_BATCHES_GAUGE}_peak", len(batches))
+        return batches
+
+    def stream_node_with_failover(
+        self, table: Table, node_index: int, columns: list[str],
+        ranges: dict | None = None,
+    ):
+        """Stream a node's segment rowgroup-wise, holding the node's scan
+        slot for the duration of the stream; falls over to the buddy
+        replica when the node is down (requires ``k_safety=1``)."""
+        prune_counter = lambda n: self.telemetry.add("rowgroups_pruned", n)
+        node = self.nodes[node_index]
+        if not node.is_down:
+            node.acquire_scan_slot()
+            try:
+                yield from table.iter_node_batches(
+                    node_index, columns, ranges=ranges,
+                    prune_counter=prune_counter)
+            finally:
+                node.release_scan_slot()
+            return
+        buddy = table.buddy_host(node_index)
+        if buddy is None:
+            raise ExecutionError(
+                f"node {node_index} is down and table {table.name!r} has no "
+                "buddy projections (create it with k_safety=1)"
+            )
+        buddy_node = self.nodes[buddy]
+        if buddy_node.is_down:
+            raise ExecutionError(
+                f"node {node_index} and its buddy {buddy} are both down; "
+                f"segment of {table.name!r} is unavailable"
+            )
+        self.telemetry.add("buddy_scans")
+        buddy_node.acquire_scan_slot()
+        try:
+            yield from table.iter_node_batches(
+                node_index, columns, ranges=ranges,
+                prune_counter=prune_counter, replica=True)
+        finally:
+            buddy_node.release_scan_slot()
+
+    def stream_table_per_node(
+        self, table_name: str, columns_needed: set[str],
+        ranges: dict | None = None,
+    ) -> list:
+        """Per-node streaming scan sources for the pipeline executor.
+
+        Returns one zero-argument callable per node; calling it opens a
+        fresh iterator of rowgroup-granular batches (re-chunked to the
+        pipeline's ``batch_rows``).  Each live batch is charged to the
+        ``pipeline_inflight_bytes`` gauge from the moment it is decoded
+        until the consumer pulls the next one, so peak in-flight memory is
+        measured, not assumed.  Column validation happens here (eagerly),
+        not when the stream is first pulled.
+        """
+        config = self.pipeline
+        if table_name.lower() == R_MODELS_TABLE_NAME:
+            arrays = self.r_models.as_arrays()
+            if columns_needed:
+                unknown = columns_needed - set(arrays)
+                if unknown:
+                    raise SqlAnalysisError(
+                        f"unknown columns {sorted(unknown)} in R_Models"
+                    )
+
+            def models_source(arrays=arrays):
+                yield arrays
+
+            return [models_source]
+
+        table = self.catalog.get_table(table_name)
+        if columns_needed:
+            unknown = [c for c in columns_needed if not table.has_column(c)]
+            if unknown:
+                raise SqlAnalysisError(
+                    f"unknown columns {unknown} in table {table_name!r}"
+                )
+            scan_columns = sorted(columns_needed)
+        else:
+            # No columns referenced (e.g. COUNT(*)): scan the cheapest column
+            # just to establish row counts.
+            scan_columns = [table.user_schema[0].name]
+
+        def make_source(node_index: int):
+            def source():
+                raw = self.stream_node_with_failover(
+                    table, node_index, scan_columns, ranges=ranges)
+                for batch in rechunk(raw, config.batch_rows):
+                    rows = len(next(iter(batch.values()))) if batch else 0
+                    nbytes = batch_nbytes(batch)
+                    self.telemetry.add("batches_scanned")
+                    self.telemetry.add("rows_scanned", rows)
+                    self.telemetry.add("rows_streamed", rows)
+                    self.telemetry.observe_max("peak_batch_bytes", nbytes)
+                    self.telemetry.gauge_add(INFLIGHT_BYTES_GAUGE, nbytes)
+                    self.telemetry.gauge_add(INFLIGHT_BATCHES_GAUGE, 1)
+                    try:
+                        yield batch
+                    finally:
+                        self.telemetry.gauge_add(INFLIGHT_BYTES_GAUGE, -nbytes)
+                        self.telemetry.gauge_add(INFLIGHT_BATCHES_GAUGE, -1)
+            return source
+
+        return [make_source(node) for node in range(self.node_count)]
+
+    def typed_empty_batch(self, table_name: str, columns: set[str] | list[str]
+                          ) -> dict[str, np.ndarray]:
+        """A zero-row batch carrying the table's declared column dtypes."""
+        if table_name.lower() == R_MODELS_TABLE_NAME:
+            arrays = self.r_models.as_arrays()
+            return {name: arr[:0] for name, arr in arrays.items()
+                    if not columns or name in columns}
+        table = self.catalog.get_table(table_name)
+        names = sorted(columns) if columns else [table.user_schema[0].name]
+        return table.segments[0].typed_empty(names)
 
     # -- introspection ------------------------------------------------------------------
 

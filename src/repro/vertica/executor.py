@@ -16,14 +16,27 @@ Executes the three plan shapes from :mod:`repro.vertica.planner`:
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
 import numpy as np
 
 from repro.errors import ExecutionError, SqlAnalysisError
 from repro.vertica import expressions
-from repro.vertica.planner import AggregatePlan, ScanPlan, UdtfPlan, plan_select
+from repro.vertica.models import R_MODELS_TABLE_NAME
+from repro.vertica.pipeline import (
+    BatchQueue,
+    PipelineCancelled,
+    batch_nbytes,
+)
+from repro.vertica.planner import (
+    AggregatePlan,
+    ScanPlan,
+    UdtfPlan,
+    instance_boundaries,
+    plan_select,
+)
 from repro.vertica.segmentation import hash64
 from repro.vertica.sql import ast
 from repro.vertica.udtf import UdtfContext
@@ -62,9 +75,16 @@ class ResultSet:
         return dict(self._columns)
 
     def rows(self) -> list[tuple]:
-        """Materialize as a list of row tuples (column order preserved)."""
-        arrays = [self._columns[name] for name in self.column_names]
-        return [tuple(arr[i] for arr in arrays) for i in range(self._length)]
+        """Materialize as a list of row tuples (column order preserved).
+
+        Each column converts in one ``tolist()`` pass (numpy scalars become
+        Python scalars wholesale) instead of a per-element Python loop, so
+        materializing large results doesn't dominate benchmark harness time.
+        """
+        if not self.column_names:
+            return []
+        lists = [self._columns[name].tolist() for name in self.column_names]
+        return list(zip(*lists))
 
     def scalar(self) -> Any:
         """The single value of a 1x1 result."""
@@ -240,6 +260,15 @@ class QueryExecutor:
         ]
         return stmt
 
+    def _streaming(self, table_name: str | None) -> bool:
+        """Whether the streaming pipeline handles this table's scan."""
+        return (self.cluster.pipeline.streaming and table_name is not None)
+
+    def _scan_ranges(self, where: ast.Expr | None):
+        from repro.vertica.pruning import extract_column_ranges
+
+        return extract_column_ranges(where) or None
+
     def _table_batches(
         self, table_name: str, columns_needed: set[str], where: ast.Expr | None
     ) -> list[dict[str, np.ndarray]]:
@@ -247,24 +276,20 @@ class QueryExecutor:
 
         Range constraints extracted from the WHERE clause push down to the
         scan as zone-map envelopes, so row groups the predicate excludes are
-        never decompressed; the exact filter still runs afterwards.
+        never decompressed; the exact filter still runs afterwards.  This is
+        the eager (materialize-per-node) source; the streaming pipeline
+        pulls from :meth:`VerticaCluster.stream_table_per_node` instead.
         """
-        from repro.vertica.pruning import extract_column_ranges
-
-        ranges = extract_column_ranges(where)
-        batches = self.cluster.scan_table_per_node(table_name, columns_needed,
-                                                   ranges=ranges or None)
+        batches = self.cluster.scan_table_per_node(
+            table_name, columns_needed, ranges=self._scan_ranges(where))
         if where is None:
             return batches
-        filtered = []
-        for batch in batches:
-            mask = np.atleast_1d(
-                np.asarray(expressions.evaluate(where, batch), dtype=bool)
-            )
-            if mask.shape == (1,) and _batch_rows(batch) != 1:
-                mask = np.broadcast_to(mask, (_batch_rows(batch),))
-            filtered.append({name: arr[mask] for name, arr in batch.items()})
-        return filtered
+        return [_apply_where(where, batch) for batch in batches]
+
+    def _node_sources(self, plan, columns_needed: set[str]) -> list:
+        """Per-node streaming batch sources honoring zone-map pushdown."""
+        return self.cluster.stream_table_per_node(
+            plan.table, columns_needed, ranges=self._scan_ranges(plan.where))
 
     def _execute_scan(self, plan: ScanPlan,
                       batches: list[dict[str, np.ndarray]] | None = None,
@@ -276,23 +301,86 @@ class QueryExecutor:
         else:
             items = plan.items
             needed = set(plan.columns_needed)
+        names = [item.output_name for item in items]
+        if batches is None and self._streaming(plan.table):
+            return self._execute_scan_streaming(plan, items, names, needed)
         if batches is None:
             batches = self._table_batches(plan.table, needed, plan.where)
-        names = [item.output_name for item in items]
         outputs: dict[str, list[np.ndarray]] = {name: [] for name in names}
         order_values: list[list[np.ndarray]] = [[] for _ in plan.order_by]
         for batch in batches:
-            rows = _batch_rows(batch)
-            for item, name in zip(items, names):
-                value = np.asarray(expressions.evaluate(item.expr, batch))
-                outputs[name].append(_broadcast_rows(value, rows))
-            for i, order in enumerate(plan.order_by):
-                value = np.asarray(expressions.evaluate(order.expr, batch))
-                order_values[i].append(_broadcast_rows(value, rows))
-        columns = {
-            name: np.concatenate(chunks) if chunks else np.empty(0)
-            for name, chunks in outputs.items()
-        }
+            projected, order_vals = _project_batch(items, names, plan.order_by, batch)
+            for name in names:
+                outputs[name].append(projected[name])
+            for i, value in enumerate(order_vals):
+                order_values[i].append(value)
+        return self._finish_scan(plan, items, names, needed, outputs, order_values)
+
+    def _execute_scan_streaming(self, plan: ScanPlan, items, names: list[str],
+                                needed: set[str]) -> ResultSet:
+        """Pull rowgroup-granular batches per node, filter and project each
+        batch as it streams past, and keep only the projection (plus a
+        bounded top-k window under ``ORDER BY ... LIMIT``) in memory."""
+        sources = self._node_sources(plan, needed)
+        ascending = [o.ascending for o in plan.order_by]
+        use_topk = bool(plan.order_by) and plan.limit is not None \
+            and not plan.distinct
+        early_limit = (plan.limit if plan.limit is not None
+                       and not plan.order_by and not plan.distinct else None)
+
+        def scan_node(source) -> tuple[dict[str, list], list[list]]:
+            out_chunks: dict[str, list[np.ndarray]] = {name: [] for name in names}
+            order_chunks: list[list[np.ndarray]] = [[] for _ in plan.order_by]
+            topk = _TopK(names, plan.limit, ascending) if use_topk else None
+            produced = 0
+            stream = source()
+            try:
+                for batch in stream:
+                    batch = _apply_where(plan.where, batch)
+                    projected, order_vals = _project_batch(
+                        items, names, plan.order_by, batch)
+                    if topk is not None:
+                        topk.add(projected, order_vals)
+                        continue
+                    for name in names:
+                        out_chunks[name].append(projected[name])
+                    for i, value in enumerate(order_vals):
+                        order_chunks[i].append(value)
+                    produced += _batch_rows(projected)
+                    if early_limit is not None and produced >= early_limit:
+                        break  # LIMIT without ORDER BY: stop pulling early
+            finally:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+            if topk is not None:
+                return topk.finish()
+            return out_chunks, order_chunks
+
+        max_workers = max(1, min(len(sources), self.cluster.executor_threads))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            per_node = list(pool.map(scan_node, sources))
+
+        outputs: dict[str, list[np.ndarray]] = {name: [] for name in names}
+        order_values: list[list[np.ndarray]] = [[] for _ in plan.order_by]
+        for out_chunks, order_chunks in per_node:  # merge in node order
+            for name in names:
+                outputs[name].extend(out_chunks[name])
+            for i, chunks in enumerate(order_chunks):
+                order_values[i].extend(chunks)
+        return self._finish_scan(plan, items, names, needed, outputs, order_values)
+
+    def _finish_scan(self, plan: ScanPlan, items, names: list[str],
+                     needed: set[str],
+                     outputs: dict[str, list[np.ndarray]],
+                     order_values: list[list[np.ndarray]]) -> ResultSet:
+        """Initiator tail shared by both modes: distinct, sort, limit."""
+        if not any(outputs.values()):
+            # No batches survived pruning/filtering: derive empty columns
+            # from the table schema / expression types instead of collapsing
+            # every output to float64.
+            return ResultSet(names, self._typed_empty_outputs(plan, items, needed))
+        columns = {name: np.concatenate(chunks) for name, chunks in outputs.items()}
         if plan.distinct:
             keep = _distinct_indices([columns[name] for name in names])
             columns = {name: arr[keep] for name, arr in columns.items()}
@@ -307,22 +395,69 @@ class QueryExecutor:
             columns = {name: arr[: plan.limit] for name, arr in columns.items()}
         return ResultSet(names, columns)
 
+    def _typed_empty_outputs(self, plan: ScanPlan, items,
+                             needed: set[str]) -> dict[str, np.ndarray]:
+        """Zero-row projections with dtypes inferred from the table schema
+        by evaluating each select expression over a schema-typed empty
+        batch (mirroring what :meth:`_execute_udtf` does via the declared
+        UDTF output schema)."""
+        base = self.cluster.typed_empty_batch(plan.table, needed)
+        out: dict[str, np.ndarray] = {}
+        for item in items:
+            value = np.atleast_1d(
+                np.asarray(expressions.evaluate(item.expr, base)))
+            out[item.output_name] = value[:0]
+        return out
+
     # -- aggregation ------------------------------------------------------------
 
     def _execute_aggregate(self, plan: AggregatePlan,
                            batches: list[dict[str, np.ndarray]] | None = None
                            ) -> ResultSet:
-        if batches is None:
-            batches = self._table_batches(plan.table, plan.columns_needed,
-                                          plan.where)
+        if batches is None and self._streaming(plan.table):
+            merged = self._aggregate_streaming(plan)
+        else:
+            if batches is None:
+                batches = self._table_batches(plan.table, plan.columns_needed,
+                                              plan.where)
+            merged = {}
+            for batch in batches:
+                _merge_partials(merged, self._partial_aggregate(plan, batch))
+        return self._finalize_aggregate(plan, merged)
+
+    def _aggregate_streaming(self, plan: AggregatePlan
+                             ) -> dict[tuple, list["_AggState"]]:
+        """Fold each node's batches into partial states as they stream past;
+        only O(groups) state is held per node, never the node's segment."""
+        sources = self._node_sources(plan, plan.columns_needed)
+
+        def fold_node(source) -> dict[tuple, list[_AggState]]:
+            local: dict[tuple, list[_AggState]] = {}
+            stream = source()
+            try:
+                for batch in stream:
+                    batch = _apply_where(plan.where, batch)
+                    if not _batch_rows(batch):
+                        continue
+                    _merge_partials(local, self._partial_aggregate(plan, batch))
+            finally:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+            return local
+
+        max_workers = max(1, min(len(sources), self.cluster.executor_threads))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            per_node = list(pool.map(fold_node, sources))
         merged: dict[tuple, list[_AggState]] = {}
-        for batch in batches:
-            for key, states in self._partial_aggregate(plan, batch).items():
-                if key not in merged:
-                    merged[key] = states
-                else:
-                    for existing, incoming in zip(merged[key], states):
-                        existing.merge(incoming)
+        for local in per_node:  # merge in node index order
+            _merge_partials(merged, local)
+        return merged
+
+    def _finalize_aggregate(self, plan: AggregatePlan,
+                            merged: dict[tuple, list["_AggState"]]) -> ResultSet:
+        """Initiator tail shared by both modes: finalize states, project,
+        HAVING, order, limit."""
         if not plan.group_by and not merged:
             # Global aggregate over zero rows still yields one row.
             merged[()] = [_AggState(agg) for agg in plan.aggregates]
@@ -412,6 +547,11 @@ class QueryExecutor:
             self.cluster.install_standard_functions()
         udtf = self.cluster.catalog.get_udtf(plan.udtf.name)
         node_count = self.cluster.node_count
+        if (self._streaming(plan.table)
+                and plan.table.lower() != R_MODELS_TABLE_NAME):
+            # R_Models is a tiny virtual catalog table with no per-node
+            # segments to fan out over; it stays on the materialized path.
+            return self._execute_udtf_streaming(plan, udtf, user)
         batches = self._table_batches(plan.table, plan.columns_needed, plan.where)
         arg_batches = [
             self._bind_args(plan.udtf.args, batch) for batch in batches
@@ -451,6 +591,273 @@ class QueryExecutor:
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
             list(pool.map(run_instance, range(len(assignments))))
 
+        return self._collect_udtf_outputs(udtf, plan, results)
+
+    def _execute_udtf_streaming(self, plan: UdtfPlan,
+                                udtf, user: str) -> ResultSet:
+        """Backpressured UDTF fan-out for ``PARTITION NODES`` / ``BEST``.
+
+        One producer thread per node streams rowgroup-granular batches into
+        bounded per-instance :class:`BatchQueue`\\ s; each instance consumes
+        its queue through :meth:`TransformFunction.process_stream`.  The
+        queue depth bounds batches in flight, so a slow instance throttles
+        the scan instead of the scan buffering the whole segment.
+
+        Deadlock-freedom with fewer pool workers than instances: producers
+        write (and close) queues in instance order, and the FIFO pool always
+        has the earliest unfinished instance scheduled, so the queue a
+        producer blocks on is always being drained.
+        """
+        kind = plan.udtf.partition.kind
+        if kind is ast.PartitionKind.BY_COLUMN:
+            return self._udtf_streaming_by_key(plan, udtf, user)
+
+        cluster = self.cluster
+        config = cluster.pipeline
+        sources = self._node_sources(plan, plan.columns_needed)
+        segment_rows = cluster.catalog.get_table(plan.table).segment_row_counts()
+        abort = threading.Event()
+
+        # Node-major instance layout.  Boundaries cut each node's pre-filter
+        # row positions (see planner.instance_boundaries): identical to the
+        # eager splitter whenever no WHERE clause drops rows upstream.
+        node_plans: list[tuple[int, list[int], list[BatchQueue]]] = []
+        slots: list[tuple[int, BatchQueue]] = []
+        for node in range(len(sources)):
+            if kind is ast.PartitionKind.NODES:
+                boundaries = [0, segment_rows[node]]
+            else:  # PARTITION BEST
+                rowgroups = cluster.node_rowgroup_count(plan.table, node)
+                nominal = cluster.nodes[node].best_udtf_parallelism(rowgroups)
+                boundaries = instance_boundaries(segment_rows[node], nominal)
+            queues = [BatchQueue(config.queue_depth, cluster.telemetry, abort)
+                      for _ in range(len(boundaries) - 1)]
+            node_plans.append((node, boundaries, queues))
+            slots.extend((node, queue) for queue in queues)
+
+        cluster.telemetry.add("udtf_instances", len(slots))
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def record_error(exc: BaseException) -> None:
+            with errors_lock:
+                errors.append(exc)
+            abort.set()
+
+        def produce(node: int, boundaries: list[int],
+                    queues: list[BatchQueue]) -> None:
+            cursor = 0    # first queue not yet closed
+            position = 0  # row offset within this node's (pruned) stream
+            stream = sources[node]()
+            try:
+                for batch in stream:
+                    rows = _batch_rows(batch)
+                    start, end = position, position + rows
+                    while cursor < len(queues) and boundaries[cursor + 1] <= start:
+                        queues[cursor].close()
+                        cursor += 1
+                    for i in range(cursor, len(queues)):
+                        if boundaries[i] >= end:
+                            break
+                        lo = max(boundaries[i], start)
+                        hi = min(boundaries[i + 1], end)
+                        if lo >= hi:
+                            continue
+                        piece = {name: arr[lo - start:hi - start]
+                                 for name, arr in batch.items()}
+                        piece = _apply_where(plan.where, piece)
+                        if _batch_rows(piece):
+                            queues[i].put(self._bind_args(plan.udtf.args, piece))
+                    position = end
+            except PipelineCancelled:
+                pass
+            except BaseException as exc:  # reprolint: ignore[exception-hygiene] -- recorded, re-raised after teardown
+                record_error(exc)
+                for queue in queues[cursor:]:
+                    queue.fail(exc)
+                return
+            finally:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+            for queue in queues[cursor:]:
+                queue.close()
+
+        results: list[dict[str, np.ndarray] | None] = [None] * len(slots)
+
+        def run_instance(index: int) -> None:
+            node, queue = slots[index]
+            ctx = UdtfContext(
+                cluster=cluster,
+                node_index=node,
+                instance_index=index,
+                instance_count=len(slots),
+                session_user=user,
+            )
+            params = dict(plan.udtf.parameters)
+            try:
+                stream = iter(queue)
+                try:
+                    first = next(stream)
+                except StopIteration:
+                    # Zero surviving batches: run the instance over typed
+                    # empty args, exactly like the eager splitter hands an
+                    # empty chunk to process().
+                    empty = self._bind_args(
+                        plan.udtf.args,
+                        cluster.typed_empty_batch(plan.table,
+                                                  plan.columns_needed))
+                    output = udtf.process(ctx, empty, params)
+                else:
+                    output = udtf.process_stream(
+                        ctx, _chain_one(first, stream), params)
+                    for _ in stream:  # drain anything the UDTF didn't pull
+                        pass
+                udtf.validate_output(output)
+                results[index] = output
+            except PipelineCancelled:
+                pass
+            except BaseException as exc:  # reprolint: ignore[exception-hygiene] -- recorded, re-raised after teardown
+                record_error(exc)
+
+        producers = [
+            threading.Thread(target=produce, args=entry)
+            for entry in node_plans
+        ]
+        for thread in producers:
+            thread.start()
+        max_workers = max(1, min(len(slots), cluster.executor_threads))
+        with ThreadPoolExecutor(max_workers=max_workers) as pool:
+            list(pool.map(run_instance, range(len(slots))))
+        for thread in producers:
+            thread.join()
+        if errors:
+            raise errors[0]
+        return self._collect_udtf_outputs(udtf, plan, results)
+
+    def _udtf_streaming_by_key(self, plan: UdtfPlan,
+                               udtf, user: str) -> ResultSet:
+        """``PARTITION BY`` streaming: hash-route rows batch by batch.
+
+        Producers route each filtered batch's rows to per-``(instance,
+        node)`` queues; each instance consumes its node queues in node index
+        order, reproducing the eager bucket concatenation order.  Every
+        consumer must be schedulable at once (producers interleave writes
+        across all instances' queues), hence ``max_workers = instances``.
+        """
+        cluster = self.cluster
+        config = cluster.pipeline
+        telemetry = cluster.telemetry
+        node_count = cluster.node_count
+        sources = self._node_sources(plan, plan.columns_needed)
+        abort = threading.Event()
+        queues = {
+            (instance, node): BatchQueue(config.queue_depth, telemetry, abort)
+            for instance in range(node_count)
+            for node in range(len(sources))
+        }
+        errors: list[BaseException] = []
+        errors_lock = threading.Lock()
+
+        def record_error(exc: BaseException) -> None:
+            with errors_lock:
+                errors.append(exc)
+            abort.set()
+
+        def produce(node: int) -> None:
+            own = [queues[(instance, node)] for instance in range(node_count)]
+            stream = sources[node]()
+            try:
+                for batch in stream:
+                    batch = _apply_where(plan.where, batch)
+                    rows = _batch_rows(batch)
+                    if not rows:
+                        continue
+                    args = self._bind_args(plan.udtf.args, batch)
+                    keys = _broadcast_rows(
+                        np.asarray(expressions.evaluate(
+                            plan.udtf.partition.expr, batch)), rows)
+                    destination = (hash64(keys)
+                                   % np.uint64(node_count)).astype(np.int64)
+                    for instance in range(node_count):
+                        mask = destination == instance
+                        if not mask.any():
+                            continue
+                        chunk = {name: arr[mask] for name, arr in args.items()}
+                        if instance != node:
+                            telemetry.add("shuffle_bytes", batch_nbytes(chunk))
+                        own[instance].put(chunk)
+            except PipelineCancelled:
+                pass
+            except BaseException as exc:  # reprolint: ignore[exception-hygiene] -- recorded, re-raised after teardown
+                record_error(exc)
+                for queue in own:
+                    queue.fail(exc)
+                return
+            finally:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    close()
+            for queue in own:
+                queue.close()
+
+        results: list[dict[str, np.ndarray] | None] = [None] * node_count
+        live = [False] * node_count
+
+        def run_instance(instance: int) -> None:
+            ctx = UdtfContext(
+                cluster=cluster,
+                node_index=instance % node_count,
+                instance_index=instance,
+                instance_count=node_count,
+                session_user=user,
+            )
+            params = dict(plan.udtf.parameters)
+            node_queues = [queues[(instance, node)]
+                           for node in range(len(sources))]
+
+            def batches() -> Iterator[dict[str, np.ndarray]]:
+                for queue in node_queues:
+                    yield from queue
+
+            try:
+                stream = batches()
+                try:
+                    first = next(stream)
+                except StopIteration:
+                    return  # empty bucket: the eager path skips it too
+                live[instance] = True
+                output = udtf.process_stream(
+                    ctx, _chain_one(first, stream), params)
+                for _ in stream:  # drain anything the UDTF didn't pull
+                    pass
+                udtf.validate_output(output)
+                results[instance] = output
+            except PipelineCancelled:
+                pass
+            except BaseException as exc:  # reprolint: ignore[exception-hygiene] -- recorded, re-raised after teardown
+                record_error(exc)
+
+        producers = [
+            threading.Thread(target=produce, args=(node,))
+            for node in range(len(sources))
+        ]
+        for thread in producers:
+            thread.start()
+        with ThreadPoolExecutor(max_workers=node_count) as pool:
+            list(pool.map(run_instance, range(node_count)))
+        for thread in producers:
+            thread.join()
+        telemetry.add("udtf_instances", sum(live))
+        if errors:
+            raise errors[0]
+        return self._collect_udtf_outputs(udtf, plan, results)
+
+    def _collect_udtf_outputs(
+        self, udtf, plan: UdtfPlan,
+        results: list[dict[str, np.ndarray] | None],
+    ) -> ResultSet:
+        """Concatenate instance outputs in instance-index order."""
         outputs = [r for r in results if r]
         if not outputs:
             declared = udtf.output_schema(dict(plan.udtf.parameters))
@@ -590,20 +997,118 @@ class _AggState:
         raise SqlAnalysisError(f"unknown aggregate {name}")
 
 
+# -- streaming helpers --------------------------------------------------------
+
+
+def _apply_where(where: ast.Expr | None,
+                 batch: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    """Filter one batch by the WHERE predicate (pass-through when absent)."""
+    if where is None:
+        return batch
+    mask = np.atleast_1d(
+        np.asarray(expressions.evaluate(where, batch), dtype=bool)
+    )
+    if mask.shape == (1,) and _batch_rows(batch) != 1:
+        mask = np.broadcast_to(mask, (_batch_rows(batch),))
+    return {name: arr[mask] for name, arr in batch.items()}
+
+
+def _project_batch(
+    items: list[ast.SelectItem], names: list[str],
+    order_by: list[ast.OrderItem], batch: dict[str, np.ndarray],
+) -> tuple[dict[str, np.ndarray], list[np.ndarray]]:
+    """Evaluate the select list (and ORDER BY keys) over one batch."""
+    rows = _batch_rows(batch)
+    projected: dict[str, np.ndarray] = {}
+    for item, name in zip(items, names):
+        value = np.asarray(expressions.evaluate(item.expr, batch))
+        projected[name] = _broadcast_rows(value, rows)
+    order_vals = []
+    for order in order_by:
+        value = np.asarray(expressions.evaluate(order.expr, batch))
+        order_vals.append(_broadcast_rows(value, rows))
+    return projected, order_vals
+
+
+def _merge_partials(
+    merged: dict[tuple, list["_AggState"]],
+    partials: dict[tuple, list["_AggState"]],
+) -> None:
+    """Merge per-group partial aggregate states into ``merged`` in place."""
+    for key, states in partials.items():
+        if key not in merged:
+            merged[key] = states
+        else:
+            for existing, incoming in zip(merged[key], states):
+                existing.merge(incoming)
+
+
+def _chain_one(first: dict[str, np.ndarray],
+               rest: Iterator[dict[str, np.ndarray]]
+               ) -> Iterator[dict[str, np.ndarray]]:
+    """Re-attach a probed first batch to the remainder of its stream."""
+    yield first
+    yield from rest
+
+
+class _TopK:
+    """Bounded accumulator for ``ORDER BY ... LIMIT`` under streaming.
+
+    Buffers projected chunks and, when the buffer outgrows its threshold,
+    trims to the ``limit`` best rows with the same stable multi-key sort the
+    initiator applies.  A stable local trim is lossless: a row's stable rank
+    among one node's rows never exceeds its global stable rank, so any row
+    the global sort+limit keeps survives every local trim.  Tied rows stay
+    in scan order throughout (stable sorts, chunks appended in scan order),
+    so the initiator's final stable sort reproduces the eager ordering
+    bit for bit.
+    """
+
+    def __init__(self, names: list[str], limit: int,
+                 ascending: list[bool]) -> None:
+        self.names = names
+        self.limit = limit
+        self.ascending = ascending
+        self.out_chunks: dict[str, list[np.ndarray]] = {n: [] for n in names}
+        self.order_chunks: list[list[np.ndarray]] = [[] for _ in ascending]
+        self.buffered = 0
+        self.threshold = max(4 * limit, 8_192)
+
+    def add(self, projected: dict[str, np.ndarray],
+            order_vals: list[np.ndarray]) -> None:
+        for name in self.names:
+            self.out_chunks[name].append(projected[name])
+        for i, value in enumerate(order_vals):
+            self.order_chunks[i].append(value)
+        self.buffered += _batch_rows(projected)
+        if self.buffered > self.threshold:
+            self._trim()
+
+    def _trim(self) -> None:
+        keys = [np.concatenate(chunks) for chunks in self.order_chunks]
+        index = _sort_index(keys, self.ascending)[: self.limit]
+        for name in self.names:
+            merged = np.concatenate(self.out_chunks[name])
+            self.out_chunks[name] = [merged[index]]
+        self.order_chunks = [[key[index]] for key in keys]
+        self.buffered = len(index)
+
+    def finish(self) -> tuple[dict[str, list[np.ndarray]],
+                              list[list[np.ndarray]]]:
+        return self.out_chunks, self.order_chunks
+
+
 # -- small helpers ------------------------------------------------------------
 
 
 def _split_args(args: dict[str, np.ndarray], instances: int
                 ) -> list[dict[str, np.ndarray]]:
     """Split bound argument arrays into contiguous per-instance chunks."""
-    rows = _batch_rows(args)
-    instances = max(1, min(instances, rows)) if rows else 1
-    boundaries = np.linspace(0, rows, instances + 1).astype(int)
-    chunks = []
-    for i in range(instances):
-        start, stop = int(boundaries[i]), int(boundaries[i + 1])
-        chunks.append({name: arr[start:stop] for name, arr in args.items()})
-    return chunks
+    boundaries = instance_boundaries(_batch_rows(args), instances)
+    return [
+        {name: arr[start:stop] for name, arr in args.items()}
+        for start, stop in zip(boundaries, boundaries[1:])
+    ]
 
 
 def _distinct_indices(columns: list[np.ndarray]) -> np.ndarray:

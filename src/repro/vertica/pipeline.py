@@ -1,0 +1,248 @@
+"""Streaming batch pipeline: rowgroup-granular dataflow with backpressure.
+
+The paper's transfer engine streams column blocks from database segments to
+analytics workers in parallel; materializing a whole segment before the
+first filter or frame defeats that.  This module provides the shared
+vocabulary for the streaming executor:
+
+* :class:`RecordBatch` — an immutable-ish columnar batch (dict of equal
+  length 1-D arrays) with cheap slicing and byte accounting.
+* :class:`PipelineConfig` — the knobs: ``mode`` (``"streaming"`` or the
+  sanctioned ``"eager"`` fallback), ``batch_rows`` (granularity of batches
+  pulled out of row groups), ``queue_depth`` (bound on batches queued per
+  UDTF instance — the backpressure window).
+* :class:`BatchQueue` — a bounded, cancellable queue connecting per-node
+  scan producers to UDTF instances; producers block when a consumer falls
+  behind, so peak in-flight bytes stay O(queue_depth * batch) instead of
+  O(segment).
+
+Telemetry (all recorded on the cluster's :class:`~repro.vertica.telemetry
+.Telemetry`):
+
+* ``batches_scanned`` — batches emitted by streaming (and eager) sources;
+* ``peak_batch_bytes`` — largest single batch observed;
+* ``rows_streamed`` — rows delivered through the streaming source;
+* ``pipeline_inflight_bytes_now`` / ``_peak`` — live (produced but not yet
+  consumed) batch bytes; the eager path records its full materialization
+  here, which is exactly the number the streaming pipeline drives down;
+* ``pipeline_inflight_batches_now`` / ``_peak`` — same, in batch counts.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Mapping
+
+import numpy as np
+
+from repro.errors import ExecutionError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vertica.telemetry import Telemetry
+
+__all__ = [
+    "PipelineConfig",
+    "RecordBatch",
+    "BatchQueue",
+    "PipelineCancelled",
+    "INFLIGHT_BYTES_GAUGE",
+    "INFLIGHT_BATCHES_GAUGE",
+    "batch_nbytes",
+    "rechunk",
+    "concat_batches",
+]
+
+INFLIGHT_BYTES_GAUGE = "pipeline_inflight_bytes"
+INFLIGHT_BATCHES_GAUGE = "pipeline_inflight_batches"
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Execution-pipeline knobs, held by :class:`VerticaCluster`.
+
+    ``mode="streaming"`` (the default) pulls rowgroup-granular batches
+    through composable operators; ``mode="eager"`` restores the historical
+    materialize-everything path (kept so parity can be asserted test by
+    test and as an escape hatch).
+    """
+
+    mode: str = "streaming"
+    batch_rows: int = 8_192
+    queue_depth: int = 4
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("streaming", "eager"):
+            raise ExecutionError(
+                f"pipeline mode must be 'streaming' or 'eager', got {self.mode!r}"
+            )
+        if self.batch_rows < 1:
+            raise ExecutionError(f"batch_rows must be positive, got {self.batch_rows}")
+        if self.queue_depth < 1:
+            raise ExecutionError(f"queue_depth must be positive, got {self.queue_depth}")
+
+    @property
+    def streaming(self) -> bool:
+        return self.mode == "streaming"
+
+
+class RecordBatch:
+    """One columnar batch: equal-length 1-D arrays keyed by column name."""
+
+    __slots__ = ("columns", "rows")
+
+    def __init__(self, columns: Mapping[str, np.ndarray]) -> None:
+        self.columns = {name: np.atleast_1d(np.asarray(arr))
+                        for name, arr in columns.items()}
+        lengths = {len(arr) for arr in self.columns.values()}
+        if len(lengths) > 1:
+            raise ExecutionError(f"ragged record batch: {lengths}")
+        self.rows = lengths.pop() if lengths else 0
+
+    @property
+    def nbytes(self) -> int:
+        return batch_nbytes(self.columns)
+
+    def slice(self, start: int, stop: int) -> "RecordBatch":
+        return RecordBatch(
+            {name: arr[start:stop] for name, arr in self.columns.items()}
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RecordBatch(rows={self.rows}, columns={sorted(self.columns)})"
+
+
+def batch_nbytes(columns: Mapping[str, np.ndarray]) -> int:
+    """Approximate in-memory bytes of a batch dict (object arrays count
+    pointer width only, matching how the shuffle path charges traffic)."""
+    return sum(getattr(arr, "nbytes", 0) for arr in columns.values())
+
+
+def rechunk(
+    source: Iterator[dict[str, np.ndarray]], batch_rows: int
+) -> Iterator[dict[str, np.ndarray]]:
+    """Re-slice a stream of column dicts to at most ``batch_rows`` rows.
+
+    Row groups are stored at load granularity (64 Ki rows by default); the
+    pipeline's unit of flow control is smaller, so each decoded row group is
+    sliced without copying (numpy views) before entering the dataflow.
+    """
+    for chunk in source:
+        rows = len(next(iter(chunk.values()))) if chunk else 0
+        if rows <= batch_rows:
+            yield chunk
+            continue
+        for start in range(0, rows, batch_rows):
+            stop = min(start + batch_rows, rows)
+            yield {name: arr[start:stop] for name, arr in chunk.items()}
+
+
+def concat_batches(
+    batches: list[dict[str, np.ndarray]]
+) -> dict[str, np.ndarray]:
+    """Concatenate batch dicts (column-wise) in list order."""
+    if not batches:
+        return {}
+    if len(batches) == 1:
+        return batches[0]
+    names = list(batches[0])
+    return {
+        name: np.concatenate([np.atleast_1d(np.asarray(b[name])) for b in batches])
+        for name in names
+    }
+
+
+class PipelineCancelled(ExecutionError):
+    """Raised inside producers/consumers when the pipeline is torn down."""
+
+
+class _EndOfStream:
+    __slots__ = ()
+
+
+_END = _EndOfStream()
+
+
+class BatchQueue:
+    """A bounded producer/consumer queue of batch dicts with byte accounting.
+
+    Producers block in :meth:`put` while the queue holds ``maxdepth``
+    batches — that is the backpressure that keeps a fast scan from racing
+    ahead of a slow UDTF instance.  The queue is cancellable via a shared
+    abort :class:`threading.Event` so one failing instance unblocks every
+    producer instead of deadlocking the thread pool.
+    """
+
+    def __init__(self, maxdepth: int, telemetry: "Telemetry | None" = None,
+                 abort: threading.Event | None = None) -> None:
+        if maxdepth < 1:
+            raise ExecutionError(f"queue depth must be positive, got {maxdepth}")
+        self.maxdepth = maxdepth
+        self.telemetry = telemetry
+        self.abort = abort or threading.Event()
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+        self._error: BaseException | None = None
+        self.total_rows = 0
+        self.total_batches = 0
+
+    # -- producer side -----------------------------------------------------
+
+    def put(self, batch: dict[str, np.ndarray], rows: int | None = None) -> None:
+        """Enqueue one batch, blocking while the queue is full."""
+        if rows is None:
+            rows = len(next(iter(batch.values()))) if batch else 0
+        nbytes = batch_nbytes(batch)
+        with self._not_full:
+            while len(self._items) >= self.maxdepth and not self.abort.is_set():
+                self._not_full.wait(timeout=0.05)
+            if self.abort.is_set():
+                raise PipelineCancelled("pipeline aborted while enqueueing")
+            if self._closed:
+                raise ExecutionError("put() on a closed BatchQueue")
+            self._items.append((batch, rows, nbytes))
+            self.total_rows += rows
+            self.total_batches += 1
+            self._not_empty.notify()
+        if self.telemetry is not None:
+            self.telemetry.gauge_add(INFLIGHT_BYTES_GAUGE, nbytes)
+            self.telemetry.gauge_add(INFLIGHT_BATCHES_GAUGE, 1)
+
+    def close(self) -> None:
+        """Signal end-of-stream; consumers drain remaining batches first."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def fail(self, error: BaseException) -> None:
+        """Propagate a producer error to the consumer."""
+        with self._not_empty:
+            self._error = error
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # -- consumer side -----------------------------------------------------
+
+    def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
+        while True:
+            with self._not_empty:
+                while not self._items and not self._closed \
+                        and not self.abort.is_set():
+                    self._not_empty.wait(timeout=0.05)
+                if self.abort.is_set() and not self._items:
+                    raise PipelineCancelled("pipeline aborted while dequeueing")
+                if self._items:
+                    batch, _rows, nbytes = self._items.popleft()
+                    self._not_full.notify()
+                else:
+                    if self._error is not None:
+                        raise self._error
+                    return
+            if self.telemetry is not None:
+                self.telemetry.gauge_add(INFLIGHT_BYTES_GAUGE, -nbytes)
+                self.telemetry.gauge_add(INFLIGHT_BATCHES_GAUGE, -1)
+            yield batch

@@ -12,11 +12,28 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.errors import SqlAnalysisError
 from repro.vertica.expressions import columns_referenced
 from repro.vertica.sql import ast
 
-__all__ = ["ScanPlan", "AggregatePlan", "UdtfPlan", "plan_select"]
+__all__ = ["ScanPlan", "AggregatePlan", "UdtfPlan", "plan_select",
+           "instance_boundaries"]
+
+
+def instance_boundaries(rows: int, instances: int) -> list[int]:
+    """Contiguous per-instance row offsets for ``PARTITION BEST`` fan-out.
+
+    Returns ``instances + 1`` monotonically increasing boundaries over
+    ``[0, rows]`` (clamping the instance count to the available rows).  Both
+    execution modes cut a node's rows at these offsets — the eager splitter
+    slices materialized argument arrays, the streaming router slices batches
+    as they flow past — so the two pipelines hand identical row ranges to
+    identical instance indices.
+    """
+    instances = max(1, min(instances, rows)) if rows else 1
+    return [int(b) for b in np.linspace(0, rows, instances + 1)]
 
 
 @dataclass

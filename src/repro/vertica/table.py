@@ -105,48 +105,67 @@ class Segment:
         for segment_file in self._files:
             yield from segment_file.iter_rowgroups(columns)
 
-    def read_columns(self, columns: list[str] | None = None,
+    def iter_batches(self, columns: list[str] | None = None,
                      ranges: dict | None = None,
-                     prune_counter=None) -> dict[str, np.ndarray]:
-        """Materialize the segment (the given columns) as arrays.
+                     prune_counter=None) -> Iterator[dict[str, np.ndarray]]:
+        """Stream the segment one decoded row group at a time.
 
-        ``ranges`` maps column names to
-        :class:`~repro.vertica.pruning.ColumnRange` envelopes; row groups
-        whose zone maps exclude any constrained column are skipped without
-        decompressing a single block (``prune_counter`` is called with the
-        number of skipped row groups).
+        This is the source of the streaming execution pipeline: each yielded
+        dict holds the requested columns of exactly one surviving row group,
+        so peak memory is O(row group), not O(segment).  ``ranges`` maps
+        column names to :class:`~repro.vertica.pruning.ColumnRange`
+        envelopes; row groups whose zone maps exclude any constrained column
+        are skipped without decompressing a single block (``prune_counter``
+        is called with the number of skipped row groups).
         """
         names = columns if columns is not None else [c.name for c in self.schema]
         constrained = self._constrained_columns(ranges)
-        pieces: dict[str, list[np.ndarray]] = {name: [] for name in names}
-        pruned = 0
         for rowgroup in self._memory_rowgroups:
-            if constrained and not self._zone_maps_match(
-                    rowgroup.block, constrained, ranges):
-                pruned += 1
+            if constrained and not rowgroup.might_match(ranges, constrained):
+                if prune_counter is not None:
+                    prune_counter(1)
                 continue
-            decoded = rowgroup.read(names)
-            for name in names:
-                pieces[name].append(decoded[name])
+            yield rowgroup.read(names)
         for segment_file in self._files:
             for index in range(segment_file.rowgroup_count):
                 if constrained and not self._zone_maps_match(
                         lambda col, i=index, f=segment_file: f.read_block(i, col),
                         constrained, ranges):
-                    pruned += 1
+                    if prune_counter is not None:
+                        prune_counter(1)
                     continue
-                decoded = segment_file.read_rowgroup(index, names).read(names)
-                for name in names:
-                    pieces[name].append(decoded[name])
-        if pruned and prune_counter is not None:
-            prune_counter(pruned)
+                yield segment_file.read_rowgroup(index, names).read(names)
+
+    def typed_empty(self, columns: list[str] | None = None) -> dict[str, np.ndarray]:
+        """Zero-row arrays carrying the schema's declared dtypes."""
+        names = columns if columns is not None else [c.name for c in self.schema]
+        return {
+            name: np.empty(0, dtype=self._schema_column(name).numpy_dtype)
+            for name in names
+        }
+
+    def read_columns(self, columns: list[str] | None = None,
+                     ranges: dict | None = None,
+                     prune_counter=None) -> dict[str, np.ndarray]:
+        """Materialize the segment (the given columns) as arrays.
+
+        The eager counterpart of :meth:`iter_batches` (same pruning and
+        telemetry behaviour), kept for the ``mode="eager"`` pipeline
+        fallback and for whole-segment consumers like the ODBC path.
+        """
+        names = columns if columns is not None else [c.name for c in self.schema]
+        pieces: dict[str, list[np.ndarray]] = {name: [] for name in names}
+        for decoded in self.iter_batches(names, ranges, prune_counter):
+            for name in names:
+                pieces[name].append(decoded[name])
+        empty = None
         out = {}
         for name in names:
-            schema_col = self._schema_column(name)
             if pieces[name]:
                 out[name] = np.concatenate(pieces[name])
             else:
-                out[name] = np.empty(0, dtype=schema_col.numpy_dtype)
+                empty = empty if empty is not None else self.typed_empty(names)
+                out[name] = empty[name]
         return out
 
     def _constrained_columns(self, ranges: dict | None) -> list[str]:
@@ -339,6 +358,29 @@ class Table:
             read_names.append(ROWID_COLUMN)
         return self.segments[node].read_columns(
             read_names, ranges=ranges, prune_counter=prune_counter)
+
+    def iter_node_batches(
+        self, node: int, columns: list[str] | None = None,
+        include_rowid: bool = False, ranges: dict | None = None,
+        prune_counter=None, replica: bool = False,
+    ) -> Iterator[dict[str, np.ndarray]]:
+        """Stream one node's segment (or its buddy replica) rowgroup-wise.
+
+        The streaming analog of :meth:`scan_node` / :meth:`scan_node_replica`;
+        batches arrive in storage order, so concatenating them reproduces the
+        eager scan exactly.
+        """
+        if replica and self.buddy_segments is None:
+            raise CatalogError(
+                f"table {self.name!r} has no buddy projections (k_safety=0)"
+            )
+        names = columns if columns is not None else self.column_names
+        read_names = list(names)
+        if include_rowid:
+            read_names.append(ROWID_COLUMN)
+        segment = (self.buddy_segments if replica else self.segments)[node]
+        return segment.iter_batches(read_names, ranges=ranges,
+                                    prune_counter=prune_counter)
 
     def buddy_host(self, node: int) -> int | None:
         """Node holding the buddy replica of ``node``'s segment (k-safety)."""

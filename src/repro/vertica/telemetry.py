@@ -33,6 +33,26 @@ class Telemetry:
         with self._lock:
             return self._counters.get(counter, 0.0)
 
+    def observe_max(self, counter: str, value: float) -> None:
+        """Record ``value`` into ``counter`` as a running maximum."""
+        with self._lock:
+            if value > self._counters.get(counter, 0.0):
+                self._counters[counter] = value
+
+    def gauge_add(self, gauge: str, delta: float) -> None:
+        """Adjust a level gauge, tracking its high-water mark.
+
+        Maintains two counters: ``<gauge>_now`` (current level) and
+        ``<gauge>_peak`` (the maximum level ever observed).  The streaming
+        pipeline charges live batches here; the eager path records its full
+        materialization, making the two directly comparable.
+        """
+        with self._lock:
+            current = self._counters.get(f"{gauge}_now", 0.0) + delta
+            self._counters[f"{gauge}_now"] = current
+            if current > self._counters.get(f"{gauge}_peak", 0.0):
+                self._counters[f"{gauge}_peak"] = current
+
     def snapshot(self) -> dict[str, float]:
         """Copy of all counters."""
         with self._lock:

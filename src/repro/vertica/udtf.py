@@ -14,12 +14,13 @@ The executor fans instances out across nodes according to the query's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 
 import numpy as np
 
 from repro.errors import ExecutionError
 from repro.storage.encoding import ColumnSchema
+from repro.vertica.pipeline import concat_batches
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.vertica.cluster import VerticaCluster
@@ -74,6 +75,27 @@ class TransformFunction:
         equal-length arrays.
         """
         raise NotImplementedError
+
+    def process_stream(
+        self,
+        ctx: UdtfContext,
+        batches: Iterator[dict[str, np.ndarray]],
+        params: Mapping[str, Any],
+    ) -> dict[str, np.ndarray] | None:
+        """Consume this instance's partition as a stream of input batches.
+
+        The streaming executor feeds each instance from a bounded queue of
+        rowgroup-granular batches.  The default materializes the stream and
+        delegates to :meth:`process`, so existing functions run unchanged
+        (with eager memory behaviour for that one instance); streaming-aware
+        functions — the VFT exporter, the prediction functions — override
+        this to bound their footprint to one batch.  Returns ``None`` when
+        the stream yields no batches.
+        """
+        collected = list(batches)
+        if not collected:
+            return None
+        return self.process(ctx, concat_batches(collected), params)
 
     def validate_output(self, output: dict[str, np.ndarray] | None) -> None:
         if output is None:

@@ -362,6 +362,58 @@ def test_thread_hygiene_accepts_none_default_and_joined_threads():
 
 
 # ---------------------------------------------------------------------------
+# no-full-materialization
+# ---------------------------------------------------------------------------
+
+def test_materialization_flags_whole_table_calls_on_hot_paths():
+    source = """
+        def run(self, table, cluster):
+            everything = table.scan_all(["a", "b"])
+            segment = table.segments[0].read_columns(["a"])
+            node = cluster.scan_node_with_failover(table, 0, ["a"])
+            return everything, segment, node
+    """
+    violations = check_snippet(
+        "no-full-materialization", source,
+        relpath="src/repro/vertica/executor.py",
+    )
+    assert [v.message.split("'")[1] for v in violations] == [
+        "scan_all", "read_columns", "scan_node_with_failover",
+    ]
+    assert all("stream rowgroup batches" in v.message for v in violations)
+
+
+def test_materialization_accepts_streaming_and_local_defs():
+    source = """
+        def run(self, table, cluster, needed):
+            # A *definition* named like a forbidden call is fine — only
+            # calls materialize.
+            def scan_node(source):
+                return list(source)
+
+            sources = cluster.stream_table_per_node(table, needed)
+            for rowgroup in table.segments[0].iter_rowgroups(sorted(needed)):
+                yield rowgroup
+    """
+    assert check_snippet(
+        "no-full-materialization", source,
+        relpath="src/repro/transfer/vft.py",
+    ) == []
+
+
+def test_materialization_scoped_to_hot_paths():
+    source = """
+        def pull(table):
+            return table.scan_all(None)
+    """
+    checker = get_checker("no-full-materialization")
+    assert not checker.applies_to("src/repro/vertica/joins.py")
+    assert not checker.applies_to("src/repro/storage/table.py")
+    assert checker.applies_to("src/repro/vertica/cluster.py")
+    assert checker.applies_to("src/repro/transfer/streams.py")
+
+
+# ---------------------------------------------------------------------------
 # suppressions and baseline
 # ---------------------------------------------------------------------------
 

@@ -4,6 +4,7 @@ from reprolint.checkers import (  # noqa: F401
     conformability,
     exception_hygiene,
     lock_discipline,
+    materialization,
     sim_determinism,
     thread_hygiene,
     udf_catalog,

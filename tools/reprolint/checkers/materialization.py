@@ -1,0 +1,84 @@
+"""no-full-materialization (RL701): executor/transfer hot paths must stream.
+
+The streaming batch pipeline exists so that the peak memory of a query is
+O(queue_depth x batch_rows), not O(table).  That property dies quietly the
+moment someone on a hot path calls one of the whole-table (or whole-segment)
+materializing entry points — ``scan_all``, an unbatched ``read_columns``,
+``scan_node``/``scan_node_replica``, or the eager per-node collectors
+``scan_node_with_failover``/``scan_table_per_node`` — instead of pulling
+rowgroup batches through :meth:`Segment.iter_rowgroups` /
+:meth:`VerticaCluster.stream_table_per_node`.
+
+This checker flags every call to one of those names in the query-execution
+and transfer hot paths (``src/repro/vertica/executor.py``,
+``src/repro/vertica/cluster.py``, ``src/repro/transfer/``).  The sanctioned
+eager fallback (``PipelineConfig(mode="eager")``) keeps its call sites via
+baseline entries; anything new must either stream or justify itself the
+same way.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from reprolint.core import Checker, FileContext, Violation, register
+
+HOT_PATHS = (
+    "src/repro/vertica/executor.py",
+    "src/repro/vertica/cluster.py",
+    "src/repro/transfer/",
+)
+
+# Entry points that materialize a whole table / segment / node slice in one
+# call.  Streaming code uses Segment.iter_rowgroups, stream_node_with_failover
+# and stream_table_per_node instead.
+MATERIALIZING_CALLS = {
+    "scan_all": "materializes the entire table across all nodes",
+    "read_columns": "materializes a whole segment in one unbatched read",
+    "scan_node": "materializes a node's entire segment",
+    "scan_node_replica": "materializes a buddy node's entire segment",
+    "scan_node_with_failover": "materializes a node's entire segment (eager)",
+    "scan_table_per_node": "materializes every node's segment at once (eager)",
+}
+
+
+def _called_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return None
+
+
+@register
+class MaterializationChecker(Checker):
+    rule = "no-full-materialization"
+    code = "RL701"
+    description = (
+        "no whole-table/segment materialization (scan_all, unbatched "
+        "read_columns, scan_node*) on executor/transfer hot paths; pull "
+        "rowgroup batches through the streaming pipeline instead"
+    )
+
+    def applies_to(self, relpath: str) -> bool:
+        return relpath.endswith(".py") and any(
+            relpath.startswith(prefix) for prefix in HOT_PATHS
+        )
+
+    def check(self, ctx: FileContext) -> Iterable[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _called_name(node)
+            why = MATERIALIZING_CALLS.get(name) if name else None
+            if why is None:
+                continue
+            yield self.violation(
+                ctx,
+                node,
+                f"'{name}' {why}; stream rowgroup batches "
+                "(Segment.iter_rowgroups / stream_table_per_node) or keep "
+                "it behind the eager fallback with a baseline entry",
+            )
