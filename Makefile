@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint reprolint ruff mypy race all
+.PHONY: test lint reprolint ruff mypy race docscheck all
 
 all: lint test
 
@@ -35,3 +35,8 @@ lint: reprolint ruff mypy
 # in the threaded engines fails deterministically instead of deadlocking.
 race:
 	REPROLINT_LOCK_CHECK=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Execute every fenced python block in README.md and docs/*.md, so the
+# documented examples cannot drift from the code they demonstrate.
+docscheck:
+	PYTHONPATH=src $(PYTHON) tools/docscheck.py

@@ -8,14 +8,62 @@ Every benchmark has two layers:
 * the **paper-scale replay** through :mod:`repro.perfmodel`, attached to the
   benchmark's ``extra_info`` so the JSON output records the modelled
   paper-scale series next to the measured laptop-scale timing.
+
+Every benchmark run can also leave a trace artifact behind: the autouse
+``export_trace`` fixture below collects the spans recorded by every live
+tracer during the test and writes one chrome-trace-compatible JSON file per
+benchmark under ``benchmarks/.traces/`` (override with ``REPRO_TRACE_DIR``,
+disable with ``REPRO_TRACE_DIR=off``).  Load a file in ``about:tracing`` or
+Perfetto, or read the ``spans``/``metrics`` keys directly — see
+``docs/observability.md``.
 """
 
 from __future__ import annotations
 
+import os
+import re
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
+from repro.obs.export import write_trace_artifact
+from repro.obs.metrics import all_registries
+from repro.obs.trace import all_tracers
 from repro.vertica import HashSegmentation, VerticaCluster
+
+
+@pytest.fixture(autouse=True)
+def export_trace(request):
+    """Write one trace artifact per benchmark (chrome-trace + spans + metrics).
+
+    Collects the root spans every live tracer recorded *during* this test
+    and bundles them with a snapshot of every live metrics registry.  Set
+    ``REPRO_TRACE_DIR`` to choose the output directory, or ``off`` to skip.
+    """
+    trace_dir = os.environ.get("REPRO_TRACE_DIR", "")
+    if trace_dir.lower() == "off":
+        yield
+        return
+    t0 = time.perf_counter()
+    yield
+    roots = [
+        root
+        for tracer in all_tracers()
+        for root in tracer.roots()
+        if root.start >= t0
+    ]
+    if not roots:
+        return
+    out_dir = Path(trace_dir) if trace_dir else Path(__file__).parent / ".traces"
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", request.node.nodeid)
+    write_trace_artifact(
+        out_dir / f"{name}.trace.json",
+        roots,
+        registries=all_registries(),
+        meta={"test": request.node.nodeid},
+    )
 
 
 def build_numeric_table(node_count: int, rows: int, features: int, seed: int = 0,

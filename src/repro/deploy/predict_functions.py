@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.deploy.deploy import load_model
 from repro.errors import ExecutionError, ModelError
+from repro.obs.trace import add_to_current
 from repro.storage.encoding import ColumnSchema, SqlType
 from repro.vertica.udtf import TransformFunction, UdtfContext
 
@@ -76,6 +77,8 @@ class _PredictBase(TransformFunction):
             return {self.output_column: np.empty(0, dtype=self.output_sql_type.numpy_dtype)}
         predictions = self.score(model, features, params)
         ctx.cluster.telemetry.add("rows_predicted", len(features))
+        # Ambient span is this instance's udtf.instance span.
+        add_to_current(rows_predicted=len(features))
         return {self.output_column: predictions}
 
     def process_stream(self, ctx, batches, params):
@@ -92,6 +95,7 @@ class _PredictBase(TransformFunction):
                 continue
             chunks.append(np.asarray(self.score(model, features, params)))
             ctx.cluster.telemetry.add("rows_predicted", len(features))
+            add_to_current(rows_predicted=len(features))
         if not chunks:
             return {self.output_column: np.empty(0, dtype=self.output_sql_type.numpy_dtype)}
         return {self.output_column: np.concatenate(chunks)}

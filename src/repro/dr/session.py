@@ -25,6 +25,7 @@ from repro.dr.dlist import DList
 from repro.dr.master import Master
 from repro.dr.worker import Worker
 from repro.errors import SessionError
+from repro.obs.trace import Tracer
 from repro.vertica.telemetry import Telemetry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -51,6 +52,7 @@ class DRSession:
             raise SessionError("each worker needs at least one R instance")
         self.instances_per_node = instances_per_node
         self.telemetry = Telemetry()
+        self.tracer = Tracer()
         self._lock = threading.Lock()
         self._closed = False
         self._yarn = yarn
@@ -58,17 +60,21 @@ class DRSession:
         if yarn is not None:
             # Request one container per worker, preferring co-location with
             # the database nodes the workers will pull segments from.
-            self._yarn_app = yarn.submit_application(
-                name="distributed-r-session",
-                container_requests=[
-                    {
-                        "cores": instances_per_node,
-                        "memory_bytes": yarn_memory_per_worker,
-                        "preferred_node": node_offset + i,
-                    }
-                    for i in range(node_count)
-                ],
-            )
+            with self.tracer.span("yarn.allocate",
+                                  containers=node_count) as span:
+                self._yarn_app = yarn.submit_application(
+                    name="distributed-r-session",
+                    container_requests=[
+                        {
+                            "cores": instances_per_node,
+                            "memory_bytes": yarn_memory_per_worker,
+                            "preferred_node": node_offset + i,
+                        }
+                        for i in range(node_count)
+                    ],
+                )
+                span.set(granted=len(self._yarn_app.containers),
+                         pending=self._yarn_app.pending)
         self.workers = [
             Worker(
                 index=i,
@@ -135,11 +141,18 @@ class DRSession:
         come back in task order; the first raised exception propagates.
         """
         self._check_open()
+        # Pool threads don't inherit the ambient span; capture the caller's
+        # span here so every dr.task attaches to the tree that dispatched it
+        # (a vft.transfer, an algorithm iteration, a prediction query).
+        parent = self.tracer.current()
 
         def run(worker_index: int, fn: Callable, partition_index: int) -> Any:
             slot = self._worker_slots[worker_index]
             with slot:
-                return fn(partition_index)
+                with self.tracer.span("dr.task", parent=parent,
+                                      worker=worker_index,
+                                      partition=partition_index):
+                    return fn(partition_index)
 
         futures = [
             self._pool.submit(run, worker_index, fn, partition_index)
@@ -171,7 +184,11 @@ class DRSession:
             self._closed = True
         self._pool.shutdown(wait=True)
         if self._yarn is not None and self._yarn_app is not None:
-            self._yarn.release_application(self._yarn_app)
+            with self.tracer.span(
+                "yarn.release",
+                containers=len(self._yarn_app.containers),
+            ):
+                self._yarn.release_application(self._yarn_app)
 
     def _check_open(self) -> None:
         with self._lock:

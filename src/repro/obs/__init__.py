@@ -1,0 +1,56 @@
+"""Observability: typed metrics, hierarchical span tracing, exporters.
+
+- :mod:`repro.obs.metrics` — declared Counter/Gauge/Histogram instruments
+  behind a :class:`MetricsRegistry`; the catalog in that module is the
+  single source of truth for every metric name (drift-checked against
+  ``docs/metrics_reference.md``).
+- :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` with ambient
+  context propagation from SQL statement down to UDTF instances and DR
+  tasks; powers the ``PROFILE SELECT`` verb.
+- :mod:`repro.obs.export` — chrome-trace and JSON snapshot exporters used
+  by the benchmarks harness.
+
+See ``docs/observability.md`` for the end-to-end walkthrough.
+"""
+
+from .metrics import (
+    CATALOG,
+    Counter,
+    Gauge,
+    Histogram,
+    InstrumentSpec,
+    MetricsRegistry,
+    all_registries,
+    catalog_markdown_table,
+    declared_instruments,
+)
+from .trace import (
+    Span,
+    Tracer,
+    add_to_current,
+    all_tracers,
+    current_span,
+    max_to_current,
+)
+from .export import chrome_trace_events, span_to_dict, write_trace_artifact
+
+__all__ = [
+    "CATALOG",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstrumentSpec",
+    "MetricsRegistry",
+    "all_registries",
+    "catalog_markdown_table",
+    "declared_instruments",
+    "Span",
+    "Tracer",
+    "add_to_current",
+    "all_tracers",
+    "current_span",
+    "max_to_current",
+    "chrome_trace_events",
+    "span_to_dict",
+    "write_trace_artifact",
+]

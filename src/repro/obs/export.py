@@ -1,0 +1,97 @@
+"""Exporters: chrome-trace events and JSON snapshots for the harness.
+
+Two consumers:
+
+* ``about:tracing`` / Perfetto — :func:`chrome_trace_events` flattens span
+  trees into complete ("ph": "X") events with microsecond timestamps, one
+  track per OS thread, so a streaming query's producer/consumer overlap is
+  visible on a timeline.
+* the benchmarks harness — :func:`write_trace_artifact` bundles span trees
+  (as nested JSON) plus a metrics snapshot into one file per benchmark,
+  wired up by an autouse fixture in ``benchmarks/conftest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable
+
+from .metrics import MetricsRegistry
+from .trace import Span
+
+__all__ = [
+    "chrome_trace_events",
+    "span_to_dict",
+    "write_trace_artifact",
+]
+
+
+def chrome_trace_events(roots: Iterable[Span],
+                        pid: int = 1) -> list[dict[str, Any]]:
+    """Flatten span trees into chrome-trace complete events.
+
+    Timestamps are microseconds relative to the earliest span start across
+    ``roots`` (chrome-trace wants small positive numbers, not epoch-scale
+    ``perf_counter`` values). ``tid`` is the OS thread that opened the span,
+    so pool fan-outs render as parallel tracks.
+    """
+    spans = [span for root in roots for span in root.walk()]
+    if not spans:
+        return []
+    origin = min(span.start for span in spans)
+    events: list[dict[str, Any]] = []
+    for span in spans:
+        end = span.end if span.end is not None else span.start
+        args = dict(span.attributes)
+        if span.error is not None:
+            args["error"] = span.error
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": round((span.start - origin) * 1e6, 3),
+            "dur": round((end - span.start) * 1e6, 3),
+            "pid": pid,
+            "tid": span.thread_id,
+            "args": args,
+        })
+    return events
+
+
+def span_to_dict(span: Span) -> dict[str, Any]:
+    """One span tree as nested JSON-serialisable dicts."""
+    out: dict[str, Any] = {
+        "name": span.name,
+        "span_id": span.span_id,
+        "duration_s": span.duration,
+        "attributes": dict(span.attributes),
+        "children": [span_to_dict(child) for child in list(span.children)],
+    }
+    if span.error is not None:
+        out["error"] = span.error
+    return out
+
+
+def write_trace_artifact(
+    path: str | Path,
+    roots: Iterable[Span],
+    registries: Iterable[MetricsRegistry] = (),
+    meta: dict[str, Any] | None = None,
+) -> Path:
+    """Write one JSON artifact: chrome-trace events + span trees + metrics.
+
+    The file doubles as a chrome-trace load target: ``about:tracing`` and
+    Perfetto read the top-level ``traceEvents`` key and ignore the rest.
+    """
+    roots = list(roots)
+    payload: dict[str, Any] = {
+        "traceEvents": chrome_trace_events(roots),
+        "spans": [span_to_dict(root) for root in roots],
+        "metrics": [registry.snapshot() for registry in registries],
+    }
+    if meta:
+        payload["meta"] = meta
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+    return path

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Any, Mapping
 import numpy as np
 
 from repro.errors import TransferError
+from repro.obs.trace import add_to_current
 from repro.storage.encoding import ColumnSchema, SqlType
 from repro.transfer.policies import TransferPolicy
 from repro.transfer.streams import encode_frame, frames_to_columns, frames_to_matrix
@@ -283,6 +284,10 @@ class _FrameSender:
         )
         target.send_chunk(worker, ctx.node_index, ctx.instance_index, frame, rows)
         ctx.cluster.telemetry.add("vft_bytes_sent", len(frame))
+        ctx.cluster.telemetry.registry.histogram("vft_frame_bytes").observe(
+            len(frame))
+        # Ambient span here is this instance's udtf.instance span.
+        add_to_current(vft_frames=1, vft_bytes=len(frame), vft_rows=rows)
         self.total_bytes += len(frame)
         self.chunk_index += 1
 

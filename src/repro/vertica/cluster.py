@@ -9,12 +9,14 @@ side of the workflow.
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
 import numpy as np
 
 from repro.errors import CatalogError, ExecutionError, SqlAnalysisError
+from repro.obs.trace import Tracer, add_to_current, max_to_current
 from repro.storage.encoding import ColumnSchema, SqlType
 from repro.vertica.catalog import Catalog
 from repro.vertica.dfs import DistributedFileSystem
@@ -63,6 +65,7 @@ class VerticaCluster:
         self.dfs = DistributedFileSystem(node_count, replication=dfs_replication)
         self.r_models = RModelsCatalog()
         self.telemetry = Telemetry()
+        self.tracer = Tracer()
         self.executor_threads = executor_threads or max(4, node_count)
         self.pipeline = pipeline or PipelineConfig()
         self._executor = QueryExecutor(self)
@@ -130,10 +133,23 @@ class VerticaCluster:
     # -- query execution ---------------------------------------------------------
 
     def sql(self, query: str, user: str = "dbadmin") -> ResultSet:
-        """Parse and execute one SQL statement."""
-        statement = parse(query)
-        self.telemetry.add("queries_executed")
-        return self._executor.execute(statement, user=user)
+        """Parse and execute one SQL statement.
+
+        Every statement runs inside a ``query`` span (nested under the
+        caller's active span when one exists — a VFT transfer, a DR task)
+        and lands one ``query_seconds`` histogram sample.
+        """
+        start = time.perf_counter()
+        with self.tracer.span(
+            "query", statement=" ".join(query.split())[:200]
+        ) as span:
+            statement = parse(query)
+            self.telemetry.add("queries_executed")
+            result = self._executor.execute(statement, user=user)
+            span.set(result_rows=len(result))
+        self.telemetry.registry.histogram("query_seconds").observe(
+            time.perf_counter() - start)
+        return result
 
     def connect(self, user: str = "dbadmin") -> OdbcConnection:
         """Open an ODBC-style client connection."""
@@ -257,13 +273,21 @@ class VerticaCluster:
             # just to establish row counts.
             scan_columns = [table.user_schema[0].name]
 
+        parent = self.tracer.current()
+
         def scan(node_index: int) -> dict[str, np.ndarray]:
-            batch = self.scan_node_with_failover(table, node_index, scan_columns,
-                                                 ranges=ranges)
-            rows = len(next(iter(batch.values()))) if batch else 0
-            self.telemetry.add("rows_scanned", rows)
-            self.telemetry.add("batches_scanned")
-            self.telemetry.observe_max("peak_batch_bytes", batch_nbytes(batch))
+            with self.tracer.span("scan.node", parent=parent,
+                                  node=node_index) as span:
+                batch = self.scan_node_with_failover(table, node_index,
+                                                     scan_columns,
+                                                     ranges=ranges)
+                rows = len(next(iter(batch.values()))) if batch else 0
+                nbytes = batch_nbytes(batch)
+                self.telemetry.add("rows_scanned", rows)
+                self.telemetry.add("bytes_scanned", nbytes)
+                self.telemetry.add("batches_scanned")
+                self.telemetry.observe_max("peak_batch_bytes", nbytes)
+                span.add(rows=rows, bytes=nbytes)
             return batch
 
         with ThreadPoolExecutor(max_workers=min(self.node_count, self.executor_threads)) as pool:
@@ -271,12 +295,12 @@ class VerticaCluster:
         # The whole-table materialization is the eager path's in-flight
         # footprint — recorded on the same gauge the streaming pipeline
         # charges per live batch, so the two modes are directly comparable.
+        materialized = sum(batch_nbytes(b) for b in batches)
         self.telemetry.observe_max(
-            f"{INFLIGHT_BYTES_GAUGE}_peak",
-            sum(batch_nbytes(b) for b in batches),
-        )
+            f"{INFLIGHT_BYTES_GAUGE}_peak", materialized)
         self.telemetry.observe_max(
             f"{INFLIGHT_BATCHES_GAUGE}_peak", len(batches))
+        max_to_current(peak_inflight_bytes=materialized)
         return batches
 
     def stream_node_with_failover(
@@ -369,10 +393,17 @@ class VerticaCluster:
                     nbytes = batch_nbytes(batch)
                     self.telemetry.add("batches_scanned")
                     self.telemetry.add("rows_scanned", rows)
+                    self.telemetry.add("bytes_scanned", nbytes)
                     self.telemetry.add("rows_streamed", rows)
                     self.telemetry.observe_max("peak_batch_bytes", nbytes)
-                    self.telemetry.gauge_add(INFLIGHT_BYTES_GAUGE, nbytes)
+                    level = self.telemetry.gauge_add(INFLIGHT_BYTES_GAUGE,
+                                                     nbytes)
                     self.telemetry.gauge_add(INFLIGHT_BATCHES_GAUGE, 1)
+                    # The generator body runs in the consuming thread, so
+                    # the ambient span here is that consumer's scan/producer
+                    # span — rows and bytes land on the right tree node.
+                    add_to_current(rows=rows, bytes=nbytes)
+                    max_to_current(peak_inflight_bytes=level)
                     try:
                         yield batch
                     finally:

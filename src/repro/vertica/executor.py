@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
 import numpy as np
 
 from repro.errors import ExecutionError, SqlAnalysisError
+from repro.obs.trace import Span
 from repro.vertica import expressions
 from repro.vertica.models import R_MODELS_TABLE_NAME
 from repro.vertica.pipeline import (
@@ -115,7 +116,23 @@ class QueryExecutor:
             return ResultSet(["status"], {"status": np.asarray(["DROP TABLE"], dtype=object)})
         if isinstance(stmt, ast.Explain):
             return self._execute_explain(stmt.query)
+        if isinstance(stmt, ast.Profile):
+            return self._execute_profile(stmt.query, user)
         raise ExecutionError(f"unsupported statement type {type(stmt).__name__}")
+
+    def _execute_profile(self, stmt: ast.Select, user: str) -> ResultSet:
+        """Execute the query, return its operator span tree instead of rows.
+
+        Vertica's PROFILE analogue: per-operator wall time, rows, bytes,
+        and any peak-inflight watermarks, rendered as one indented text row
+        per span.  The ``rows``/``bytes`` columns are subtree totals, so
+        the root row reconciles with the ``rows_scanned``/``bytes_scanned``
+        counter deltas for the same query.
+        """
+        with self.cluster.tracer.span("query") as span:
+            result = self._execute_select(stmt, user)
+            span.set(result_rows=len(result))
+        return _render_profile(span)
 
     def _execute_explain(self, stmt: ast.Select) -> ResultSet:
         """Describe the physical plan as one text row per plan step."""
@@ -193,14 +210,22 @@ class QueryExecutor:
 
     def _execute_select(self, stmt: ast.Select, user: str) -> ResultSet:
         stmt = self._resolve_aliases(stmt)
+        tracer = self.cluster.tracer
         if stmt.join is not None:
-            return self._execute_join_select(stmt)
+            with tracer.span("join", table=stmt.table or ""):
+                return self._execute_join_select(stmt)
         plan = plan_select(stmt)
         if isinstance(plan, UdtfPlan):
-            return self._execute_udtf(plan, user)
+            with tracer.span("udtf", function=plan.udtf.name,
+                             table=plan.table or "") as span:
+                result = self._execute_udtf(plan, user)
+                span.set(result_rows=len(result))
+                return result
         if isinstance(plan, AggregatePlan):
-            return self._execute_aggregate(plan)
-        return self._execute_scan(plan)
+            with tracer.span("aggregate", table=plan.table or ""):
+                return self._execute_aggregate(plan)
+        with tracer.span("scan", table=plan.table or ""):
+            return self._execute_scan(plan)
 
     def _execute_join_select(self, stmt: ast.Select) -> ResultSet:
         """Joined SELECT: materialize the hash join, then run the normal
@@ -327,39 +352,44 @@ class QueryExecutor:
             and not plan.distinct
         early_limit = (plan.limit if plan.limit is not None
                        and not plan.order_by and not plan.distinct else None)
+        tracer = self.cluster.tracer
+        # Pool threads don't inherit the ambient span; capture it here and
+        # attach each node's span explicitly.
+        parent = tracer.current()
 
-        def scan_node(source) -> tuple[dict[str, list], list[list]]:
+        def scan_node(node: int) -> tuple[dict[str, list], list[list]]:
             out_chunks: dict[str, list[np.ndarray]] = {name: [] for name in names}
             order_chunks: list[list[np.ndarray]] = [[] for _ in plan.order_by]
             topk = _TopK(names, plan.limit, ascending) if use_topk else None
             produced = 0
-            stream = source()
-            try:
-                for batch in stream:
-                    batch = _apply_where(plan.where, batch)
-                    projected, order_vals = _project_batch(
-                        items, names, plan.order_by, batch)
-                    if topk is not None:
-                        topk.add(projected, order_vals)
-                        continue
-                    for name in names:
-                        out_chunks[name].append(projected[name])
-                    for i, value in enumerate(order_vals):
-                        order_chunks[i].append(value)
-                    produced += _batch_rows(projected)
-                    if early_limit is not None and produced >= early_limit:
-                        break  # LIMIT without ORDER BY: stop pulling early
-            finally:
-                close = getattr(stream, "close", None)
-                if close is not None:
-                    close()
+            with tracer.span("scan.node", parent=parent, node=node):
+                stream = sources[node]()
+                try:
+                    for batch in stream:
+                        batch = _apply_where(plan.where, batch)
+                        projected, order_vals = _project_batch(
+                            items, names, plan.order_by, batch)
+                        if topk is not None:
+                            topk.add(projected, order_vals)
+                            continue
+                        for name in names:
+                            out_chunks[name].append(projected[name])
+                        for i, value in enumerate(order_vals):
+                            order_chunks[i].append(value)
+                        produced += _batch_rows(projected)
+                        if early_limit is not None and produced >= early_limit:
+                            break  # LIMIT without ORDER BY: stop pulling early
+                finally:
+                    close = getattr(stream, "close", None)
+                    if close is not None:
+                        close()
             if topk is not None:
                 return topk.finish()
             return out_chunks, order_chunks
 
         max_workers = max(1, min(len(sources), self.cluster.executor_threads))
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            per_node = list(pool.map(scan_node, sources))
+            per_node = list(pool.map(scan_node, range(len(sources))))
 
         outputs: dict[str, list[np.ndarray]] = {name: [] for name in names}
         order_values: list[list[np.ndarray]] = [[] for _ in plan.order_by]
@@ -430,25 +460,29 @@ class QueryExecutor:
         """Fold each node's batches into partial states as they stream past;
         only O(groups) state is held per node, never the node's segment."""
         sources = self._node_sources(plan, plan.columns_needed)
+        tracer = self.cluster.tracer
+        parent = tracer.current()
 
-        def fold_node(source) -> dict[tuple, list[_AggState]]:
+        def fold_node(node: int) -> dict[tuple, list[_AggState]]:
             local: dict[tuple, list[_AggState]] = {}
-            stream = source()
-            try:
-                for batch in stream:
-                    batch = _apply_where(plan.where, batch)
-                    if not _batch_rows(batch):
-                        continue
-                    _merge_partials(local, self._partial_aggregate(plan, batch))
-            finally:
-                close = getattr(stream, "close", None)
-                if close is not None:
-                    close()
+            with tracer.span("aggregate.node", parent=parent, node=node):
+                stream = sources[node]()
+                try:
+                    for batch in stream:
+                        batch = _apply_where(plan.where, batch)
+                        if not _batch_rows(batch):
+                            continue
+                        _merge_partials(local,
+                                        self._partial_aggregate(plan, batch))
+                finally:
+                    close = getattr(stream, "close", None)
+                    if close is not None:
+                        close()
             return local
 
         max_workers = max(1, min(len(sources), self.cluster.executor_threads))
         with ThreadPoolExecutor(max_workers=max_workers) as pool:
-            per_node = list(pool.map(fold_node, sources))
+            per_node = list(pool.map(fold_node, range(len(sources))))
         merged: dict[tuple, list[_AggState]] = {}
         for local in per_node:  # merge in node index order
             _merge_partials(merged, local)
@@ -573,6 +607,8 @@ class QueryExecutor:
 
         self.cluster.telemetry.add("udtf_instances", len(assignments))
         results: list[dict[str, np.ndarray] | None] = [None] * len(assignments)
+        tracer = self.cluster.tracer
+        parent = tracer.current()
 
         def run_instance(index: int) -> None:
             node, args = assignments[index]
@@ -583,8 +619,12 @@ class QueryExecutor:
                 instance_count=len(assignments),
                 session_user=user,
             )
-            output = udtf.process(ctx, args, dict(plan.udtf.parameters))
-            udtf.validate_output(output)
+            with tracer.span("udtf.instance", parent=parent, node=node,
+                             instance=index) as span:
+                output = udtf.process(ctx, args, dict(plan.udtf.parameters))
+                udtf.validate_output(output)
+                span.set(rows_in=_batch_rows(args),
+                         rows_out=_batch_rows(output))
             results[index] = output
 
         max_workers = max(1, min(len(assignments), self.cluster.executor_threads))
@@ -638,6 +678,8 @@ class QueryExecutor:
         cluster.telemetry.add("udtf_instances", len(slots))
         errors: list[BaseException] = []
         errors_lock = threading.Lock()
+        tracer = cluster.tracer
+        parent = tracer.current()
 
         def record_error(exc: BaseException) -> None:
             with errors_lock:
@@ -646,6 +688,11 @@ class QueryExecutor:
 
         def produce(node: int, boundaries: list[int],
                     queues: list[BatchQueue]) -> None:
+            with tracer.span("udtf.producer", parent=parent, node=node):
+                _produce(node, boundaries, queues)
+
+        def _produce(node: int, boundaries: list[int],
+                     queues: list[BatchQueue]) -> None:
             cursor = 0    # first queue not yet closed
             position = 0  # row offset within this node's (pruned) stream
             stream = sources[node]()
@@ -696,25 +743,31 @@ class QueryExecutor:
             )
             params = dict(plan.udtf.parameters)
             try:
-                stream = iter(queue)
-                try:
-                    first = next(stream)
-                except StopIteration:
-                    # Zero surviving batches: run the instance over typed
-                    # empty args, exactly like the eager splitter hands an
-                    # empty chunk to process().
-                    empty = self._bind_args(
-                        plan.udtf.args,
-                        cluster.typed_empty_batch(plan.table,
-                                                  plan.columns_needed))
-                    output = udtf.process(ctx, empty, params)
-                else:
-                    output = udtf.process_stream(
-                        ctx, _chain_one(first, stream), params)
-                    for _ in stream:  # drain anything the UDTF didn't pull
-                        pass
-                udtf.validate_output(output)
-                results[index] = output
+                with tracer.span("udtf.instance", parent=parent, node=node,
+                                 instance=index) as span:
+                    stream = iter(queue)
+                    try:
+                        first = next(stream)
+                    except StopIteration:
+                        # Zero surviving batches: run the instance over typed
+                        # empty args, exactly like the eager splitter hands an
+                        # empty chunk to process().
+                        empty = self._bind_args(
+                            plan.udtf.args,
+                            cluster.typed_empty_batch(plan.table,
+                                                      plan.columns_needed))
+                        output = udtf.process(ctx, empty, params)
+                    else:
+                        output = udtf.process_stream(
+                            ctx, _chain_one(first, stream), params)
+                        for _ in stream:  # drain anything the UDTF didn't pull
+                            pass
+                    udtf.validate_output(output)
+                    span.set(rows_in=queue.total_rows,
+                             bytes_in=queue.total_bytes,
+                             rows_out=_batch_rows(output),
+                             backpressure_s=queue.blocked_seconds)
+                    results[index] = output
             except PipelineCancelled:
                 pass
             except BaseException as exc:  # reprolint: ignore[exception-hygiene] -- recorded, re-raised after teardown
@@ -758,6 +811,8 @@ class QueryExecutor:
         }
         errors: list[BaseException] = []
         errors_lock = threading.Lock()
+        tracer = cluster.tracer
+        parent = tracer.current()
 
         def record_error(exc: BaseException) -> None:
             with errors_lock:
@@ -765,6 +820,10 @@ class QueryExecutor:
             abort.set()
 
         def produce(node: int) -> None:
+            with tracer.span("udtf.producer", parent=parent, node=node):
+                _produce(node)
+
+        def _produce(node: int) -> None:
             own = [queues[(instance, node)] for instance in range(node_count)]
             stream = sources[node]()
             try:
@@ -821,18 +880,24 @@ class QueryExecutor:
                     yield from queue
 
             try:
-                stream = batches()
-                try:
-                    first = next(stream)
-                except StopIteration:
-                    return  # empty bucket: the eager path skips it too
-                live[instance] = True
-                output = udtf.process_stream(
-                    ctx, _chain_one(first, stream), params)
-                for _ in stream:  # drain anything the UDTF didn't pull
-                    pass
-                udtf.validate_output(output)
-                results[instance] = output
+                with tracer.span("udtf.instance", parent=parent,
+                                 instance=instance) as span:
+                    stream = batches()
+                    try:
+                        first = next(stream)
+                    except StopIteration:
+                        return  # empty bucket: the eager path skips it too
+                    live[instance] = True
+                    output = udtf.process_stream(
+                        ctx, _chain_one(first, stream), params)
+                    for _ in stream:  # drain anything the UDTF didn't pull
+                        pass
+                    udtf.validate_output(output)
+                    span.set(
+                        rows_in=sum(q.total_rows for q in node_queues),
+                        bytes_in=sum(q.total_bytes for q in node_queues),
+                        rows_out=_batch_rows(output))
+                    results[instance] = output
             except PipelineCancelled:
                 pass
             except BaseException as exc:  # reprolint: ignore[exception-hygiene] -- recorded, re-raised after teardown
@@ -1096,6 +1161,56 @@ class _TopK:
     def finish(self) -> tuple[dict[str, list[np.ndarray]],
                               list[list[np.ndarray]]]:
         return self.out_chunks, self.order_chunks
+
+
+# -- PROFILE rendering --------------------------------------------------------
+
+
+def _render_profile(root: Span) -> ResultSet:
+    """Render a finished span tree as the PROFILE result set.
+
+    One row per span, depth-first, with the tree shown by indentation in
+    the ``operator`` column.  ``rows``/``bytes`` are subtree totals (a
+    parent aggregates its children), ``wall_ms`` is the span's own wall
+    time, and ``detail`` carries the remaining attributes (node/instance
+    indices, peak-inflight watermarks, backpressure time, errors).
+    """
+    operators: list[str] = []
+    wall_ms: list[float] = []
+    rows_col: list[float] = []
+    bytes_col: list[float] = []
+    detail: list[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        operators.append("  " * depth + span.name)
+        wall_ms.append(span.duration * 1e3)
+        rows_col.append(span.total("rows"))
+        bytes_col.append(span.total("bytes"))
+        extras = {
+            key: value for key, value in span.attributes.items()
+            if key not in ("rows", "bytes")
+        }
+        if span.error is not None:
+            extras["error"] = span.error
+        detail.append(", ".join(
+            f"{key}={value:.6g}" if isinstance(value, float)
+            else f"{key}={value}"
+            for key, value in sorted(extras.items())
+        ))
+        for child in list(span.children):
+            visit(child, depth + 1)
+
+    visit(root, 0)
+    return ResultSet(
+        ["operator", "wall_ms", "rows", "bytes", "detail"],
+        {
+            "operator": np.asarray(operators, dtype=object),
+            "wall_ms": np.asarray(wall_ms, dtype=np.float64),
+            "rows": np.asarray(rows_col, dtype=np.float64),
+            "bytes": np.asarray(bytes_col, dtype=np.float64),
+            "detail": np.asarray(detail, dtype=object),
+        },
+    )
 
 
 # -- small helpers ------------------------------------------------------------

@@ -31,6 +31,7 @@ Telemetry (all recorded on the cluster's :class:`~repro.vertica.telemetry
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterator, Mapping
@@ -38,6 +39,7 @@ from typing import TYPE_CHECKING, Iterator, Mapping
 import numpy as np
 
 from repro.errors import ExecutionError
+from repro.obs.trace import add_to_current
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.vertica.telemetry import Telemetry
@@ -188,27 +190,46 @@ class BatchQueue:
         self._closed = False
         self._error: BaseException | None = None
         self.total_rows = 0
+        self.total_bytes = 0
         self.total_batches = 0
+        self.blocked_seconds = 0.0
 
     # -- producer side -----------------------------------------------------
 
     def put(self, batch: dict[str, np.ndarray], rows: int | None = None) -> None:
-        """Enqueue one batch, blocking while the queue is full."""
+        """Enqueue one batch, blocking while the queue is full.
+
+        Time spent blocked on a full queue is the backpressure the pipeline
+        exists to apply; it accumulates on :attr:`blocked_seconds`, the
+        ``pipeline_backpressure_seconds`` counter, and the producer's active
+        span, so a slow consumer is visible in a PROFILE tree.
+        """
         if rows is None:
             rows = len(next(iter(batch.values()))) if batch else 0
         nbytes = batch_nbytes(batch)
+        blocked = 0.0
         with self._not_full:
-            while len(self._items) >= self.maxdepth and not self.abort.is_set():
-                self._not_full.wait(timeout=0.05)
+            if len(self._items) >= self.maxdepth and not self.abort.is_set():
+                wait_start = time.perf_counter()
+                while (len(self._items) >= self.maxdepth
+                        and not self.abort.is_set()):
+                    self._not_full.wait(timeout=0.05)
+                blocked = time.perf_counter() - wait_start
             if self.abort.is_set():
                 raise PipelineCancelled("pipeline aborted while enqueueing")
             if self._closed:
                 raise ExecutionError("put() on a closed BatchQueue")
             self._items.append((batch, rows, nbytes))
             self.total_rows += rows
+            self.total_bytes += nbytes
             self.total_batches += 1
+            self.blocked_seconds += blocked
             self._not_empty.notify()
+        if blocked:
+            add_to_current(backpressure_s=blocked)
         if self.telemetry is not None:
+            if blocked:
+                self.telemetry.add("pipeline_backpressure_seconds", blocked)
             self.telemetry.gauge_add(INFLIGHT_BYTES_GAUGE, nbytes)
             self.telemetry.gauge_add(INFLIGHT_BATCHES_GAUGE, 1)
 

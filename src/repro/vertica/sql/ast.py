@@ -15,7 +15,7 @@ __all__ = [
     "AggregateCall", "InList", "LikeMatch", "Star", "SelectItem", "OrderItem",
     "PartitionSpec", "PartitionKind", "UdtfCall",
     "Statement", "Select", "JoinClause", "CreateTable", "ColumnDef", "SegmentationClause",
-    "Insert", "DropTable", "Explain",
+    "Insert", "DropTable", "Explain", "Profile",
 ]
 
 
@@ -258,5 +258,13 @@ class DropTable(Statement):
 @dataclass
 class Explain(Statement):
     """``EXPLAIN <select>``: describe the physical plan without running it."""
+
+    query: "Select"
+
+
+@dataclass
+class Profile(Statement):
+    """``PROFILE <select>``: run the query, return its operator span tree
+    (wall time, rows, bytes, peak in-flight) instead of its rows."""
 
     query: "Select"

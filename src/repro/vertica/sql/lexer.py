@@ -30,7 +30,8 @@ KEYWORDS = frozenset(
         "AS", "AND", "OR", "NOT", "IN", "IS", "NULL", "TRUE", "FALSE",
         "ASC", "DESC", "DISTINCT", "BETWEEN", "LIKE",
         "JOIN", "ON", "INNER", "LEFT", "OUTER",
-        "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "EXPLAIN", "COPY",
+        "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "EXPLAIN",
+        "PROFILE", "COPY",
         "SEGMENTED", "UNSEGMENTED", "HASH", "ALL", "NODES",
         "USING", "PARAMETERS", "OVER", "PARTITION", "BEST",
         "COUNT", "SUM", "AVG", "MIN", "MAX",

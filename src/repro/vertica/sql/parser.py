@@ -133,6 +133,11 @@ class _Parser:
             if not isinstance(inner, ast.Select):
                 raise SqlSyntaxError("EXPLAIN supports SELECT statements only")
             return ast.Explain(inner)
+        if self.accept_keyword("PROFILE"):
+            inner = self.statement()
+            if not isinstance(inner, ast.Select):
+                raise SqlSyntaxError("PROFILE supports SELECT statements only")
+            return ast.Profile(inner)
         raise SqlSyntaxError(
             f"expected a statement, found {self.current.value!r}",
             position=self.current.position,

@@ -19,6 +19,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.errors import ResourceError
+from repro.vertica.telemetry import Telemetry
 from repro.yarn.container import Container
 from repro.yarn.scheduler import Scheduler, make_scheduler
 
@@ -90,10 +91,12 @@ class ResourceManager:
     """Cluster-wide allocator with pluggable scheduling policy."""
 
     def __init__(self, nodes: list[NodeCapacity], policy: str = "capacity",
-                 queue_capacities: dict[str, float] | None = None) -> None:
+                 queue_capacities: dict[str, float] | None = None,
+                 telemetry: Telemetry | None = None) -> None:
         if not nodes:
             raise ResourceError("resource manager requires at least one node")
         self.nodes = list(nodes)
+        self.telemetry = telemetry or Telemetry()
         self.scheduler: Scheduler = make_scheduler(policy, queue_capacities)
         self._lock = threading.Lock()
         self._free_cores = [n.cores for n in nodes]
@@ -179,6 +182,7 @@ class ResourceManager:
                 self._free_cores[container.node_index] += container.cores
                 self._free_memory[container.node_index] += container.memory_bytes
                 container.release()
+                self.telemetry.add("yarn_containers_released")
             stored.containers.clear()
             self._pending = [
                 r for r in self._pending if r.application_id != app.application_id
@@ -208,6 +212,9 @@ class ResourceManager:
                     else node == request.preferred_node
                 )
                 container.start()
+                # Telemetry instrument locks are leaves: acquired under the
+                # manager lock, never the other way around.
+                self.telemetry.add("yarn_containers_granted")
                 app.containers.append(container)
                 app.pending -= 1
                 self._free_cores[node] -= request.cores
@@ -239,6 +246,7 @@ class ResourceManager:
             self._free_cores[container.node_index] += container.cores
             self._free_memory[container.node_index] += container.memory_bytes
             container.release()
+            self.telemetry.add("yarn_containers_released")
         app.containers.clear()
         self._pending = [
             r for r in self._pending if r.application_id != app.application_id

@@ -1,0 +1,77 @@
+"""Drift checks: ``docs/metrics_reference.md`` vs the live catalog.
+
+The metrics reference embeds the table rendered by
+``repro.obs.metrics.catalog_markdown_table()`` between ``catalog:begin`` /
+``catalog:end`` markers.  These tests fail when either side moves without
+the other: a metric declared but undocumented, documented but undeclared,
+or documented with a stale kind/unit/module/description.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.obs.metrics import (
+    CATALOG,
+    MetricsRegistry,
+    catalog_markdown_table,
+    declared_instruments,
+)
+
+DOC = Path(__file__).parent.parent / "docs" / "metrics_reference.md"
+
+
+def documented_table() -> str:
+    text = DOC.read_text()
+    match = re.search(
+        r"<!-- catalog:begin -->\n(.*?)\n<!-- catalog:end -->", text, re.DOTALL
+    )
+    assert match, "docs/metrics_reference.md lost its catalog markers"
+    return match.group(1).strip()
+
+
+def documented_names() -> set[str]:
+    return set(re.findall(r"^\| `([a-z_]+)` \|", documented_table(), re.MULTILINE))
+
+
+def test_doc_table_matches_rendered_catalog():
+    """The embedded table is byte-identical to the generated rendering."""
+    assert documented_table() == catalog_markdown_table(), (
+        "docs/metrics_reference.md drifted from repro.obs.metrics.CATALOG; "
+        "regenerate with `PYTHONPATH=src python -m repro.obs.metrics` and "
+        "paste between the catalog:begin/end markers"
+    )
+
+
+def test_every_declared_metric_is_documented():
+    missing = {spec.name for spec in declared_instruments()} - documented_names()
+    assert not missing, f"declared but undocumented metrics: {sorted(missing)}"
+
+
+def test_every_documented_metric_is_declared():
+    stale = documented_names() - set(CATALOG)
+    assert not stale, f"documented but undeclared metrics: {sorted(stale)}"
+
+
+@pytest.mark.parametrize("spec", declared_instruments(),
+                         ids=lambda spec: spec.name)
+def test_declared_metric_instantiates_as_declared_kind(spec):
+    """Every cataloged name creates a live instrument of its declared kind
+    (so the doc's type column describes what snapshots actually contain)."""
+    registry = MetricsRegistry()
+    getter = {"counter": registry.counter, "gauge": registry.gauge,
+              "histogram": registry.histogram}[spec.kind]
+    instrument = getter(spec.name)
+    assert instrument.spec is spec
+    assert not instrument.dynamic
+
+
+def test_emitting_modules_exist():
+    """The 'emitted by' column names real importable modules."""
+    import importlib
+
+    for module in sorted({spec.module for spec in declared_instruments()}):
+        importlib.import_module(module)

@@ -1,0 +1,40 @@
+"""Execute the fenced python blocks in the markdown docs.
+
+Thin pytest wrapper over ``tools/docscheck.py`` (the same extraction and
+execution the ``make docscheck`` / CI step uses), so broken documentation
+examples fail the ordinary test run too — one test per markdown file.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).parent.parent
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import docscheck  # noqa: E402
+
+
+def markdown_files() -> list[Path]:
+    return docscheck.default_files()
+
+
+@pytest.mark.parametrize("path", markdown_files(), ids=lambda p: p.name)
+def test_doc_snippets_execute(path):
+    errors = docscheck.run_file(path, verbose=False)
+    assert not errors, "\n\n".join(errors)
+
+
+def test_fence_extraction_sees_the_walkthrough():
+    """Guard the extractor itself: the observability walkthrough must be
+    found and runnable, and the static-analysis fragment must be skipped."""
+    obs = docscheck.extract_fences(REPO_ROOT / "docs" / "observability.md")
+    runnable = [fence for fence in obs if fence.runnable]
+    assert len(runnable) >= 2
+
+    static = docscheck.extract_fences(REPO_ROOT / "docs" / "static_analysis.md")
+    python_fences = [f for f in static if f.language == "python"]
+    assert python_fences and not any(f.runnable for f in python_fences)

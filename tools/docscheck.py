@@ -1,0 +1,147 @@
+"""Execute the fenced ``python`` blocks in the markdown docs.
+
+Documentation that shows code rots silently: an API rename leaves every
+snippet plausible-looking and wrong.  This runner extracts each fenced
+block whose info string is ``python`` and executes it, so the docs are
+tested the same way the code is.  Conventions:
+
+* Blocks in the same file share one namespace and run top to bottom, so a
+  later snippet can build on an earlier one (the observability walkthrough
+  does this).  Each file starts fresh.
+* Mark illustrative, non-runnable fragments with ``python no-run`` in the
+  fence info string; they are skipped (and reported as skipped).
+* Bare fences and other languages (``sql``, ``bash``, ``text``) are ignored.
+
+Usage::
+
+    PYTHONPATH=src python tools/docscheck.py            # README.md + docs/*.md
+    PYTHONPATH=src python tools/docscheck.py docs/observability.md
+
+``make docscheck`` wraps the default invocation; ``tests/test_docs_examples.py``
+runs the same extraction per file inside the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import traceback
+from dataclasses import dataclass
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@dataclass
+class Fence:
+    """One fenced code block: where it is and what it says."""
+
+    path: Path
+    lineno: int  # 1-based line of the opening ```
+    info: str  # the fence info string, e.g. "python no-run"
+    source: str
+
+    @property
+    def language(self) -> str:
+        tokens = self.info.split()
+        return tokens[0] if tokens else ""
+
+    @property
+    def runnable(self) -> bool:
+        return self.language == "python" and "no-run" not in self.info.split()
+
+    @property
+    def label(self) -> str:
+        return f"{self.path}:{self.lineno}"
+
+
+def extract_fences(path: Path) -> list[Fence]:
+    """All fenced code blocks in a markdown file, in order."""
+    fences: list[Fence] = []
+    info: str | None = None
+    opened_at = 0
+    body: list[str] = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        stripped = line.strip()
+        if info is None:
+            if stripped.startswith("```") and stripped != "```":
+                info = stripped[3:].strip()
+                opened_at = lineno
+                body = []
+            elif stripped == "```":
+                info = ""
+                opened_at = lineno
+                body = []
+        elif stripped == "```":
+            fences.append(Fence(path, opened_at, info, "\n".join(body)))
+            info = None
+        else:
+            body.append(line)
+    if info is not None:
+        raise ValueError(f"{path}:{opened_at}: unterminated ``` fence")
+    return fences
+
+
+def run_file(path: Path, verbose: bool = True) -> list[str]:
+    """Execute a file's runnable fences in one shared namespace.
+
+    Returns a list of error descriptions (empty means the file passed).
+    A fence that raises does not stop the remaining fences — later
+    snippets usually don't depend on the failed one, and reporting every
+    broken block at once beats one-error-per-run.
+    """
+    errors: list[str] = []
+    namespace: dict[str, object] = {"__name__": f"docscheck:{path.name}"}
+    for fence in extract_fences(path):
+        if fence.language != "python":
+            continue
+        if not fence.runnable:
+            if verbose:
+                print(f"  skip  {fence.label} (no-run)")
+            continue
+        # Offset with blank lines so tracebacks point at the real markdown
+        # line numbers (the fence body starts the line after the ```).
+        padded = "\n" * fence.lineno + fence.source
+        try:
+            exec(compile(padded, str(path), "exec"), namespace)
+        except Exception:
+            errors.append(f"{fence.label}\n{traceback.format_exc()}")
+            if verbose:
+                print(f"  FAIL  {fence.label}")
+        else:
+            if verbose:
+                print(f"  ok    {fence.label}")
+    return errors
+
+
+def default_files() -> list[Path]:
+    return [REPO_ROOT / "README.md"] + sorted((REPO_ROOT / "docs").glob("*.md"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Execute fenced python blocks from markdown docs."
+    )
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="markdown files (default: README.md docs/*.md)")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only report failures")
+    args = parser.parse_args(argv)
+
+    files = args.files or default_files()
+    all_errors: list[str] = []
+    for path in files:
+        if not args.quiet:
+            print(path)
+        all_errors.extend(run_file(path, verbose=not args.quiet))
+    if all_errors:
+        print(f"\ndocscheck: {len(all_errors)} failing snippet(s)",
+              file=sys.stderr)
+        for error in all_errors:
+            print(f"\n--- {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
