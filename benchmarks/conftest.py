@@ -16,10 +16,17 @@ benchmark under ``benchmarks/.traces/`` (override with ``REPRO_TRACE_DIR``,
 disable with ``REPRO_TRACE_DIR=off``).  Load a file in ``about:tracing`` or
 Perfetto, or read the ``spans``/``metrics`` keys directly — see
 ``docs/observability.md``.
+
+Next to those traces, the autouse ``bench_datapoint`` fixture writes one
+``BENCH_<figure>.json`` per benchmark module (``<figure>`` is the module
+stem minus its ``bench_`` prefix): a list of datapoints carrying each
+test's wall time and the non-zero metric deltas it produced, so a harness
+can diff figures across runs without parsing chrome traces.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
 import time
@@ -64,6 +71,62 @@ def export_trace(request):
         registries=all_registries(),
         meta={"test": request.node.nodeid},
     )
+
+
+def _summed_metrics() -> dict[str, float]:
+    """One flat name→value dict summed across every live registry."""
+    totals: dict[str, float] = {}
+    for registry in all_registries():
+        for name, value in registry.snapshot().items():
+            totals[name] = totals.get(name, 0.0) + value
+    return totals
+
+
+#: Figures whose BENCH_*.json has been truncated this session, so repeated
+#: runs replace stale datapoints instead of appending to them forever.
+_BENCH_RESET: set[Path] = set()
+
+
+@pytest.fixture(autouse=True)
+def bench_datapoint(request):
+    """Append one datapoint to this module's ``BENCH_<figure>.json``.
+
+    A datapoint is the test's wall time plus the non-zero metric deltas it
+    produced (summed across every live registry; instruments created during
+    the test count from zero).  Files land next to the chrome-trace
+    artifacts and honor the same ``REPRO_TRACE_DIR`` override / ``off``
+    switch.  Peak/watermark keys are deliberately kept: a drop in
+    ``peak_batch_bytes`` between runs is as much a regression signal as a
+    slowdown.
+    """
+    trace_dir = os.environ.get("REPRO_TRACE_DIR", "")
+    if trace_dir.lower() == "off":
+        yield
+        return
+    before = _summed_metrics()
+    t0 = time.perf_counter()
+    yield
+    wall = time.perf_counter() - t0
+    deltas = {}
+    for name, value in sorted(_summed_metrics().items()):
+        delta = value - before.get(name, 0.0)
+        if delta:
+            deltas[name] = delta
+    figure = re.sub(r"^bench_", "", request.node.path.stem)
+    out_dir = Path(trace_dir) if trace_dir else Path(__file__).parent / ".traces"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out_path = out_dir / f"BENCH_{figure}.json"
+    if out_path in _BENCH_RESET and out_path.exists():
+        doc = json.loads(out_path.read_text())
+    else:
+        doc = {"figure": figure, "datapoints": []}
+        _BENCH_RESET.add(out_path)
+    doc["datapoints"].append({
+        "test": request.node.nodeid,
+        "wall_seconds": round(wall, 6),
+        "metrics": deltas,
+    })
+    out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 
 def build_numeric_table(node_count: int, rows: int, features: int, seed: int = 0,

@@ -63,6 +63,10 @@ def deploy_model(
         description=description,
         dfs_path=path,
     )
+    # Stamp the (re)deploy with its own committed epoch from the cluster
+    # clock: the catalog swap is atomic with respect to data mutations, and
+    # the record shows which epoch's queries started seeing the new model.
+    record.commit_epoch = cluster.catalog.epochs.stamp()
     cluster.r_models.add(record, replace=replace, user=owner)
     with _MODEL_CACHE_LOCK:
         _MODEL_CACHE.pop((id(cluster), path, info.version - 1), None)

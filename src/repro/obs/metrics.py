@@ -136,6 +136,25 @@ CATALOG: dict[str, InstrumentSpec] = {
         _spec("join_rows_produced", "counter", "rows",
               "Rows emitted by hash joins.",
               "repro.vertica.joins"),
+        # -- repro.vertica.txn / MVCC ------------------------------------------
+        _spec("wos_rows", "gauge", "rows",
+              "Rows resident in write-optimized (WOS) buffers, pre-moveout.",
+              "repro.vertica.table"),
+        _spec("delete_vector_rows", "gauge", "rows",
+              "Live delete-vector entries not yet purged by mergeout.",
+              "repro.vertica.txn.mutations"),
+        _spec("rows_deleted", "counter", "rows",
+              "Rows marked deleted by SQL DELETE statements.",
+              "repro.vertica.txn.mutations"),
+        _spec("rows_updated", "counter", "rows",
+              "Rows rewritten (delete + reinsert) by SQL UPDATE statements.",
+              "repro.vertica.txn.mutations"),
+        _spec("mergeout_bytes_rewritten", "counter", "bytes",
+              "Encoded bytes rewritten by Tuple Mover mergeout passes.",
+              "repro.vertica.txn.mover"),
+        _spec("current_epoch", "gauge", "1",
+              "Committed epoch watermark of the cluster's epoch clock.",
+              "repro.vertica.txn.epochs"),
         # -- repro.vertica.odbc ------------------------------------------------
         _spec("odbc_connections_opened", "counter", "1",
               "ODBC-style client connections opened.",

@@ -17,6 +17,7 @@ from repro.vertica.segmentation import (
     Unsegmented,
 )
 from repro.vertica.table import Table
+from repro.vertica.txn import EpochClock, Snapshot, TupleMover, TupleMoverConfig
 from repro.vertica.udtf import FunctionBasedUdtf, TransformFunction, UdtfContext
 
 __all__ = [
@@ -42,4 +43,8 @@ __all__ = [
     "TransformFunction",
     "FunctionBasedUdtf",
     "UdtfContext",
+    "EpochClock",
+    "Snapshot",
+    "TupleMover",
+    "TupleMoverConfig",
 ]

@@ -11,6 +11,7 @@ import threading
 from typing import TYPE_CHECKING
 
 from repro.errors import CatalogError
+from repro.vertica.txn.epochs import EpochClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.vertica.table import Table
@@ -20,12 +21,19 @@ __all__ = ["Catalog"]
 
 
 class Catalog:
-    """Registry of tables and transform functions for one cluster."""
+    """Registry of tables and transform functions for one cluster.
+
+    The catalog also owns the cluster-global epoch clock: every table's
+    commits and every statement's snapshots resolve against it, and
+    catalog-level changes (``R_Models`` redeploys) stamp their own epochs
+    from the same sequence so they serialize with data mutations.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._tables: dict[str, "Table"] = {}
         self._udtfs: dict[str, "TransformFunction"] = {}
+        self.epochs = EpochClock()
 
     # -- tables ---------------------------------------------------------
 
@@ -57,6 +65,11 @@ class Catalog:
     def table_names(self) -> list[str]:
         with self._lock:
             return sorted(t.name for t in self._tables.values())
+
+    def tables(self) -> list["Table"]:
+        """A point-in-time list of the registered tables (name order)."""
+        with self._lock:
+            return sorted(self._tables.values(), key=lambda t: t.name)
 
     # -- transform functions ---------------------------------------------
 

@@ -35,6 +35,7 @@ from repro.vertica.segmentation import HashSegmentation, RoundRobinSegmentation,
 from repro.vertica.sql.parser import parse
 from repro.vertica.table import Table
 from repro.vertica.telemetry import Telemetry
+from repro.vertica.txn.mover import TupleMover, TupleMoverConfig
 from repro.vertica.udtf import TransformFunction
 
 __all__ = ["VerticaCluster"]
@@ -52,6 +53,7 @@ class VerticaCluster:
         dfs_replication: int = 2,
         executor_threads: int | None = None,
         pipeline: PipelineConfig | None = None,
+        mover: TupleMoverConfig | None = None,
     ) -> None:
         if node_count < 1:
             raise CatalogError("cluster requires at least one node")
@@ -68,6 +70,9 @@ class VerticaCluster:
         self.tracer = Tracer()
         self.executor_threads = executor_threads or max(4, node_count)
         self.pipeline = pipeline or PipelineConfig()
+        self.catalog.epochs.on_advance = (
+            lambda delta: self.telemetry.gauge_add("current_epoch", delta))
+        self.tuple_mover = TupleMover(self, mover)
         self._executor = QueryExecutor(self)
         self._lock = threading.Lock()
         self._prediction_functions_installed = False
@@ -98,6 +103,11 @@ class VerticaCluster:
             codec=self.codec,
             k_safety=k_safety,
         )
+        # Enroll the table in the cluster's MVCC machinery: its inserts
+        # stamp commit epochs from the shared clock, and its WOS feeds the
+        # ``wos_rows`` gauge.
+        table.epochs = self.catalog.epochs
+        table.telemetry = self.telemetry
         self.catalog.add_table(table)
         return table
 
@@ -178,6 +188,21 @@ class VerticaCluster:
             self.catalog.register_udtf(ExportToDistributedR(), replace=True)
             self._prediction_functions_installed = True
 
+    # -- MVCC conveniences ---------------------------------------------------------
+
+    @property
+    def current_epoch(self) -> int:
+        """The committed watermark new statements read at."""
+        return self.catalog.epochs.current_epoch
+
+    def advance_ahm(self, epoch: int | None = None) -> int:
+        """Advance the Ancient History Mark (default: to the committed
+        watermark), opening the history behind it up for mergeout purge;
+        wakes the Tuple Mover so the purge actually happens."""
+        ahm = self.catalog.epochs.advance_ahm(epoch)
+        self.tuple_mover.notify()
+        return ahm
+
     # -- node failure / failover --------------------------------------------------
 
     def fail_node(self, node: int) -> None:
@@ -192,10 +217,13 @@ class VerticaCluster:
     def scan_node_with_failover(
         self, table: Table, node_index: int, columns: list[str],
         include_rowid: bool = False, ranges: dict | None = None,
+        snapshot=None,
     ) -> dict[str, np.ndarray]:
         """Scan a node's segment, falling over to its buddy replica when the
         node is down (requires the table to have ``k_safety=1``)."""
         prune_counter = lambda n: self.telemetry.add("rowgroups_pruned", n)
+        if snapshot is None:
+            snapshot = table.resolve_snapshot()
         node = self.nodes[node_index]
         if not node.is_down:
             node.acquire_scan_slot()
@@ -203,7 +231,8 @@ class VerticaCluster:
                 return table.scan_node(node_index, columns,
                                        include_rowid=include_rowid,
                                        ranges=ranges,
-                                       prune_counter=prune_counter)
+                                       prune_counter=prune_counter,
+                                       snapshot=snapshot)
             finally:
                 node.release_scan_slot()
         buddy = table.buddy_host(node_index)
@@ -224,7 +253,8 @@ class VerticaCluster:
             return table.scan_node_replica(node_index, columns,
                                            include_rowid=include_rowid,
                                            ranges=ranges,
-                                           prune_counter=prune_counter)
+                                           prune_counter=prune_counter,
+                                           snapshot=snapshot)
         finally:
             buddy_node.release_scan_slot()
 
@@ -242,7 +272,7 @@ class VerticaCluster:
 
     def scan_table_per_node(
         self, table_name: str, columns_needed: set[str],
-        ranges: dict | None = None,
+        ranges: dict | None = None, snapshot=None,
     ) -> list[dict[str, np.ndarray]]:
         """Scan each node's segment in parallel; returns one batch per node.
 
@@ -273,6 +303,10 @@ class VerticaCluster:
             # just to establish row counts.
             scan_columns = [table.user_schema[0].name]
 
+        # One snapshot for every node scan: the parallel workers all read
+        # the same committed epoch, however long each takes.
+        if snapshot is None:
+            snapshot = table.resolve_snapshot()
         parent = self.tracer.current()
 
         def scan(node_index: int) -> dict[str, np.ndarray]:
@@ -280,7 +314,8 @@ class VerticaCluster:
                                   node=node_index) as span:
                 batch = self.scan_node_with_failover(table, node_index,
                                                      scan_columns,
-                                                     ranges=ranges)
+                                                     ranges=ranges,
+                                                     snapshot=snapshot)
                 rows = len(next(iter(batch.values()))) if batch else 0
                 nbytes = batch_nbytes(batch)
                 self.telemetry.add("rows_scanned", rows)
@@ -305,19 +340,21 @@ class VerticaCluster:
 
     def stream_node_with_failover(
         self, table: Table, node_index: int, columns: list[str],
-        ranges: dict | None = None,
+        ranges: dict | None = None, snapshot=None,
     ):
         """Stream a node's segment rowgroup-wise, holding the node's scan
         slot for the duration of the stream; falls over to the buddy
         replica when the node is down (requires ``k_safety=1``)."""
         prune_counter = lambda n: self.telemetry.add("rowgroups_pruned", n)
+        if snapshot is None:
+            snapshot = table.resolve_snapshot()
         node = self.nodes[node_index]
         if not node.is_down:
             node.acquire_scan_slot()
             try:
                 yield from table.iter_node_batches(
                     node_index, columns, ranges=ranges,
-                    prune_counter=prune_counter)
+                    prune_counter=prune_counter, snapshot=snapshot)
             finally:
                 node.release_scan_slot()
             return
@@ -338,13 +375,14 @@ class VerticaCluster:
         try:
             yield from table.iter_node_batches(
                 node_index, columns, ranges=ranges,
-                prune_counter=prune_counter, replica=True)
+                prune_counter=prune_counter, replica=True,
+                snapshot=snapshot)
         finally:
             buddy_node.release_scan_slot()
 
     def stream_table_per_node(
         self, table_name: str, columns_needed: set[str],
-        ranges: dict | None = None,
+        ranges: dict | None = None, snapshot=None,
     ) -> list:
         """Per-node streaming scan sources for the pipeline executor.
 
@@ -384,10 +422,16 @@ class VerticaCluster:
             # just to establish row counts.
             scan_columns = [table.user_schema[0].name]
 
+        # Resolve the statement's snapshot now, not when the stream is
+        # first pulled: all node sources must read the same epoch.
+        if snapshot is None:
+            snapshot = table.resolve_snapshot()
+
         def make_source(node_index: int):
             def source():
                 raw = self.stream_node_with_failover(
-                    table, node_index, scan_columns, ranges=ranges)
+                    table, node_index, scan_columns, ranges=ranges,
+                    snapshot=snapshot)
                 for batch in rechunk(raw, config.batch_rows):
                     rows = len(next(iter(batch.values()))) if batch else 0
                     nbytes = batch_nbytes(batch)

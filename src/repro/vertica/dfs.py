@@ -58,10 +58,43 @@ class DistributedFileSystem:
             self._down.add(node)
 
     def recover_node(self, node: int) -> None:
-        """Bring a failed node back (its replicas become readable again)."""
+        """Bring a failed node back and repair its replica set.
+
+        Deletes and overwrites that happened while the node was down never
+        reached it, so recovery must reconcile: orphaned blobs (path no
+        longer in the catalog) and stale versions (checksum mismatch) are
+        dropped, and files left under-replicated by writes during the
+        outage are re-replicated onto this node from a checksum-correct
+        peer.  After this returns, :meth:`total_bytes` again reflects
+        exactly ``replication`` copies of every live file (node capacity
+        permitting).
+        """
         self._check_node(node)
         with self._lock:
             self._down.discard(node)
+            self._repair_node_locked(node)
+
+    def _repair_node_locked(self, node: int) -> None:
+        """Reconcile one recovered node's blobs; caller holds ``_lock``."""
+        blobs = self._blobs[node]
+        for path in list(blobs):
+            info = self._meta.get(path)
+            if (info is None or node not in info.replica_nodes
+                    or zlib.crc32(blobs[path]) != info.checksum):
+                del blobs[path]
+        for path, info in self._meta.items():
+            if node in info.replica_nodes:
+                continue
+            if len(info.replica_nodes) >= self.replication:
+                continue
+            for peer in info.replica_nodes:
+                if peer in self._down:
+                    continue
+                data = self._blobs[peer].get(path)
+                if data is not None and zlib.crc32(data) == info.checksum:
+                    blobs[path] = data
+                    info.replica_nodes = info.replica_nodes + (node,)
+                    break
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.node_count:
@@ -85,10 +118,13 @@ class DistributedFileSystem:
                 raise DfsError("no live nodes to store the file")
             replicas = self._choose_replicas_locked(live)
             version = self._meta[path].version + 1 if path in self._meta else 1
-            # Remove stale replicas from a previous version.
+            # Remove stale replicas from a previous version.  Down nodes
+            # can't process the removal; their stale copies are reconciled
+            # by the repair scan in recover_node.
             if path in self._meta:
                 for node in self._meta[path].replica_nodes:
-                    self._blobs[node].pop(path, None)
+                    if node not in self._down:
+                        self._blobs[node].pop(path, None)
             for node in replicas:
                 self._blobs[node][path] = data
             info = DfsFileInfo(
@@ -145,12 +181,18 @@ class DistributedFileSystem:
             return path in self._meta
 
     def delete(self, path: str) -> None:
+        """Drop a file from the catalog and every reachable replica.
+
+        Replicas on failed nodes cannot process the delete; they become
+        orphans that :meth:`recover_node`'s repair scan removes.
+        """
         with self._lock:
             info = self._meta.pop(path, None)
             if info is None:
                 raise DfsError(f"DFS file not found: {path!r}")
             for node in info.replica_nodes:
-                self._blobs[node].pop(path, None)
+                if node not in self._down:
+                    self._blobs[node].pop(path, None)
 
     def list_files(self, prefix: str = "") -> list[DfsFileInfo]:
         with self._lock:

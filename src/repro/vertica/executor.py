@@ -40,10 +40,12 @@ from repro.vertica.planner import (
 )
 from repro.vertica.segmentation import hash64
 from repro.vertica.sql import ast
+from repro.vertica.txn.mutations import execute_delete, execute_update
 from repro.vertica.udtf import UdtfContext
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.vertica.cluster import VerticaCluster
+    from repro.vertica.txn.epochs import Snapshot
 
 __all__ = ["ResultSet", "QueryExecutor"]
 
@@ -111,6 +113,14 @@ class QueryExecutor:
             return self._execute_create(stmt)
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt)
+        if isinstance(stmt, ast.Delete):
+            deleted = execute_delete(self.cluster, stmt)
+            return ResultSet(["count"],
+                             {"count": np.asarray([deleted], dtype=np.int64)})
+        if isinstance(stmt, ast.Update):
+            updated = execute_update(self.cluster, stmt)
+            return ResultSet(["count"],
+                             {"count": np.asarray([updated], dtype=np.int64)})
         if isinstance(stmt, ast.DropTable):
             self.cluster.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
             return ResultSet(["status"], {"status": np.asarray(["DROP TABLE"], dtype=object)})
@@ -204,37 +214,55 @@ class QueryExecutor:
     def _execute_insert(self, stmt: ast.Insert) -> ResultSet:
         table = self.cluster.catalog.get_table(stmt.table)
         inserted = table.insert_rows(stmt.rows)
+        # Trickle inserts land in the WOS; hint the Tuple Mover so moveout
+        # flushes them once the size/age thresholds trip.
+        self.cluster.tuple_mover.notify()
         return ResultSet(["count"], {"count": np.asarray([inserted], dtype=np.int64)})
 
     # -- SELECT ---------------------------------------------------------------
 
     def _execute_select(self, stmt: ast.Select, user: str) -> ResultSet:
         stmt = self._resolve_aliases(stmt)
+        # One snapshot per statement, resolved before any scan starts:
+        # every node scan (eager or streaming) reads the same epoch.
+        snapshot = self._statement_snapshot(stmt)
         tracer = self.cluster.tracer
         if stmt.join is not None:
             with tracer.span("join", table=stmt.table or ""):
-                return self._execute_join_select(stmt)
+                return self._execute_join_select(stmt, snapshot)
         plan = plan_select(stmt)
         if isinstance(plan, UdtfPlan):
             with tracer.span("udtf", function=plan.udtf.name,
                              table=plan.table or "") as span:
-                result = self._execute_udtf(plan, user)
+                result = self._execute_udtf(plan, user, snapshot)
                 span.set(result_rows=len(result))
                 return result
         if isinstance(plan, AggregatePlan):
             with tracer.span("aggregate", table=plan.table or ""):
-                return self._execute_aggregate(plan)
+                return self._execute_aggregate(plan, snapshot=snapshot)
         with tracer.span("scan", table=plan.table or ""):
-            return self._execute_scan(plan)
+            return self._execute_scan(plan, snapshot=snapshot)
 
-    def _execute_join_select(self, stmt: ast.Select) -> ResultSet:
+    def _statement_snapshot(self, stmt: ast.Select) -> "Snapshot | None":
+        """Resolve the statement's read snapshot (``AT EPOCH`` or latest)."""
+        if stmt.table is None or stmt.table.lower() == R_MODELS_TABLE_NAME:
+            if stmt.at_epoch is not None:
+                raise SqlAnalysisError(
+                    "AT EPOCH requires a FROM over a regular table")
+            return None
+        table = self.cluster.catalog.get_table(stmt.table)
+        return table.resolve_snapshot(stmt.at_epoch)
+
+    def _execute_join_select(self, stmt: ast.Select,
+                             snapshot: "Snapshot | None" = None) -> ResultSet:
         """Joined SELECT: materialize the hash join, then run the normal
         scan/aggregate pipeline over the single joined batch."""
         from repro.vertica.joins import materialize_join
 
         if stmt.udtf is not None:
             raise SqlAnalysisError("UDTF calls over joins are not supported")
-        batch, star_columns = materialize_join(self.cluster, stmt)
+        batch, star_columns = materialize_join(self.cluster, stmt,
+                                               snapshot=snapshot)
         if stmt.where is not None:
             mask = np.atleast_1d(
                 np.asarray(expressions.evaluate(stmt.where, batch), dtype=bool))
@@ -295,7 +323,8 @@ class QueryExecutor:
         return extract_column_ranges(where) or None
 
     def _table_batches(
-        self, table_name: str, columns_needed: set[str], where: ast.Expr | None
+        self, table_name: str, columns_needed: set[str], where: ast.Expr | None,
+        snapshot: "Snapshot | None" = None,
     ) -> list[dict[str, np.ndarray]]:
         """Scan per-node batches in parallel, applying the WHERE filter.
 
@@ -306,19 +335,23 @@ class QueryExecutor:
         pulls from :meth:`VerticaCluster.stream_table_per_node` instead.
         """
         batches = self.cluster.scan_table_per_node(
-            table_name, columns_needed, ranges=self._scan_ranges(where))
+            table_name, columns_needed, ranges=self._scan_ranges(where),
+            snapshot=snapshot)
         if where is None:
             return batches
         return [_apply_where(where, batch) for batch in batches]
 
-    def _node_sources(self, plan, columns_needed: set[str]) -> list:
+    def _node_sources(self, plan, columns_needed: set[str],
+                      snapshot: "Snapshot | None" = None) -> list:
         """Per-node streaming batch sources honoring zone-map pushdown."""
         return self.cluster.stream_table_per_node(
-            plan.table, columns_needed, ranges=self._scan_ranges(plan.where))
+            plan.table, columns_needed, ranges=self._scan_ranges(plan.where),
+            snapshot=snapshot)
 
     def _execute_scan(self, plan: ScanPlan,
                       batches: list[dict[str, np.ndarray]] | None = None,
-                      star_columns: list[str] | None = None) -> ResultSet:
+                      star_columns: list[str] | None = None,
+                      snapshot: "Snapshot | None" = None) -> ResultSet:
         if plan.select_star:
             table_columns = star_columns or self.cluster.table_columns(plan.table)
             items = [ast.SelectItem(ast.ColumnRef(name)) for name in table_columns]
@@ -328,9 +361,11 @@ class QueryExecutor:
             needed = set(plan.columns_needed)
         names = [item.output_name for item in items]
         if batches is None and self._streaming(plan.table):
-            return self._execute_scan_streaming(plan, items, names, needed)
+            return self._execute_scan_streaming(plan, items, names, needed,
+                                                snapshot)
         if batches is None:
-            batches = self._table_batches(plan.table, needed, plan.where)
+            batches = self._table_batches(plan.table, needed, plan.where,
+                                          snapshot)
         outputs: dict[str, list[np.ndarray]] = {name: [] for name in names}
         order_values: list[list[np.ndarray]] = [[] for _ in plan.order_by]
         for batch in batches:
@@ -342,11 +377,12 @@ class QueryExecutor:
         return self._finish_scan(plan, items, names, needed, outputs, order_values)
 
     def _execute_scan_streaming(self, plan: ScanPlan, items, names: list[str],
-                                needed: set[str]) -> ResultSet:
+                                needed: set[str],
+                                snapshot: "Snapshot | None" = None) -> ResultSet:
         """Pull rowgroup-granular batches per node, filter and project each
         batch as it streams past, and keep only the projection (plus a
         bounded top-k window under ``ORDER BY ... LIMIT``) in memory."""
-        sources = self._node_sources(plan, needed)
+        sources = self._node_sources(plan, needed, snapshot)
         ascending = [o.ascending for o in plan.order_by]
         use_topk = bool(plan.order_by) and plan.limit is not None \
             and not plan.distinct
@@ -442,24 +478,26 @@ class QueryExecutor:
     # -- aggregation ------------------------------------------------------------
 
     def _execute_aggregate(self, plan: AggregatePlan,
-                           batches: list[dict[str, np.ndarray]] | None = None
+                           batches: list[dict[str, np.ndarray]] | None = None,
+                           snapshot: "Snapshot | None" = None,
                            ) -> ResultSet:
         if batches is None and self._streaming(plan.table):
-            merged = self._aggregate_streaming(plan)
+            merged = self._aggregate_streaming(plan, snapshot)
         else:
             if batches is None:
                 batches = self._table_batches(plan.table, plan.columns_needed,
-                                              plan.where)
+                                              plan.where, snapshot)
             merged = {}
             for batch in batches:
                 _merge_partials(merged, self._partial_aggregate(plan, batch))
         return self._finalize_aggregate(plan, merged)
 
-    def _aggregate_streaming(self, plan: AggregatePlan
+    def _aggregate_streaming(self, plan: AggregatePlan,
+                             snapshot: "Snapshot | None" = None
                              ) -> dict[tuple, list["_AggState"]]:
         """Fold each node's batches into partial states as they stream past;
         only O(groups) state is held per node, never the node's segment."""
-        sources = self._node_sources(plan, plan.columns_needed)
+        sources = self._node_sources(plan, plan.columns_needed, snapshot)
         tracer = self.cluster.tracer
         parent = tracer.current()
 
@@ -575,7 +613,8 @@ class QueryExecutor:
 
     # -- UDTF fan-out -----------------------------------------------------------
 
-    def _execute_udtf(self, plan: UdtfPlan, user: str) -> ResultSet:
+    def _execute_udtf(self, plan: UdtfPlan, user: str,
+                      snapshot: "Snapshot | None" = None) -> ResultSet:
         # Built-in transfer/prediction functions install on first use.
         if not self.cluster.catalog.has_udtf(plan.udtf.name):
             self.cluster.install_standard_functions()
@@ -585,8 +624,9 @@ class QueryExecutor:
                 and plan.table.lower() != R_MODELS_TABLE_NAME):
             # R_Models is a tiny virtual catalog table with no per-node
             # segments to fan out over; it stays on the materialized path.
-            return self._execute_udtf_streaming(plan, udtf, user)
-        batches = self._table_batches(plan.table, plan.columns_needed, plan.where)
+            return self._execute_udtf_streaming(plan, udtf, user, snapshot)
+        batches = self._table_batches(plan.table, plan.columns_needed,
+                                      plan.where, snapshot)
         arg_batches = [
             self._bind_args(plan.udtf.args, batch) for batch in batches
         ]
@@ -633,8 +673,8 @@ class QueryExecutor:
 
         return self._collect_udtf_outputs(udtf, plan, results)
 
-    def _execute_udtf_streaming(self, plan: UdtfPlan,
-                                udtf, user: str) -> ResultSet:
+    def _execute_udtf_streaming(self, plan: UdtfPlan, udtf, user: str,
+                                snapshot: "Snapshot | None" = None) -> ResultSet:
         """Backpressured UDTF fan-out for ``PARTITION NODES`` / ``BEST``.
 
         One producer thread per node streams rowgroup-granular batches into
@@ -650,12 +690,15 @@ class QueryExecutor:
         """
         kind = plan.udtf.partition.kind
         if kind is ast.PartitionKind.BY_COLUMN:
-            return self._udtf_streaming_by_key(plan, udtf, user)
+            return self._udtf_streaming_by_key(plan, udtf, user, snapshot)
 
         cluster = self.cluster
         config = cluster.pipeline
-        sources = self._node_sources(plan, plan.columns_needed)
-        segment_rows = cluster.catalog.get_table(plan.table).segment_row_counts()
+        sources = self._node_sources(plan, plan.columns_needed, snapshot)
+        # Boundary math must count the rows the streams will actually
+        # yield, so the counts resolve at the same snapshot as the scan.
+        segment_rows = cluster.catalog.get_table(
+            plan.table).segment_row_counts(snapshot)
         abort = threading.Event()
 
         # Node-major instance layout.  Boundaries cut each node's pre-filter
@@ -788,8 +831,8 @@ class QueryExecutor:
             raise errors[0]
         return self._collect_udtf_outputs(udtf, plan, results)
 
-    def _udtf_streaming_by_key(self, plan: UdtfPlan,
-                               udtf, user: str) -> ResultSet:
+    def _udtf_streaming_by_key(self, plan: UdtfPlan, udtf, user: str,
+                               snapshot: "Snapshot | None" = None) -> ResultSet:
         """``PARTITION BY`` streaming: hash-route rows batch by batch.
 
         Producers route each filtered batch's rows to per-``(instance,
@@ -802,7 +845,7 @@ class QueryExecutor:
         config = cluster.pipeline
         telemetry = cluster.telemetry
         node_count = cluster.node_count
-        sources = self._node_sources(plan, plan.columns_needed)
+        sources = self._node_sources(plan, plan.columns_needed, snapshot)
         abort = threading.Event()
         queues = {
             (instance, node): BatchQueue(config.queue_depth, telemetry, abort)

@@ -24,17 +24,20 @@ from repro.vertica.sql import ast
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.vertica.cluster import VerticaCluster
+    from repro.vertica.txn.epochs import Snapshot
 
 __all__ = ["materialize_join"]
 
 
-def materialize_join(cluster: "VerticaCluster", stmt: ast.Select
+def materialize_join(cluster: "VerticaCluster", stmt: ast.Select,
+                     snapshot: "Snapshot | None" = None,
                      ) -> tuple[dict[str, np.ndarray], list[str]]:
     """Execute the join of ``stmt`` and return (batch, star column order).
 
     The batch maps qualified (and unambiguous bare) column keys to aligned
     arrays; the column order lists the qualified output names for
-    ``SELECT *`` expansion (left columns then right columns).
+    ``SELECT *`` expansion (left columns then right columns).  Both sides
+    read at the same ``snapshot`` (epochs come from one shared clock).
     """
     join = stmt.join
     left_name, right_name = stmt.table, join.table
@@ -73,8 +76,10 @@ def materialize_join(cluster: "VerticaCluster", stmt: ast.Select
         needed_left |= extra_left
         needed_right |= extra_right
 
-    left_data = left_table.scan_all(sorted(needed_left) or [left_table.column_names[0]])
-    right_data = right_table.scan_all(sorted(needed_right) or [right_table.column_names[0]])
+    left_data = left_table.scan_all(
+        sorted(needed_left) or [left_table.column_names[0]], snapshot=snapshot)
+    right_data = right_table.scan_all(
+        sorted(needed_right) or [right_table.column_names[0]], snapshot=snapshot)
     cluster.telemetry.add("join_rows_scanned",
                           _rows(left_data) + _rows(right_data))
 

@@ -48,6 +48,10 @@ class ModelRecord:
     dfs_path: str
     created_at: float = field(default_factory=time.time)
     grants: dict[str, set[str]] = field(default_factory=dict)
+    # Epoch at which this record (re)deployed — stamped from the cluster's
+    # shared clock, so a redeploy is an atomic swap serialized with data
+    # mutations (0 = deployed outside any cluster transaction machinery).
+    commit_epoch: int = 0
 
     def allows(self, user: str, privilege: str) -> bool:
         if user == self.owner:

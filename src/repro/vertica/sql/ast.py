@@ -15,7 +15,7 @@ __all__ = [
     "AggregateCall", "InList", "LikeMatch", "Star", "SelectItem", "OrderItem",
     "PartitionSpec", "PartitionKind", "UdtfCall",
     "Statement", "Select", "JoinClause", "CreateTable", "ColumnDef", "SegmentationClause",
-    "Insert", "DropTable", "Explain", "Profile",
+    "Insert", "Delete", "Update", "DropTable", "Explain", "Profile",
 ]
 
 
@@ -220,6 +220,9 @@ class Select(Statement):
     udtf: UdtfCall | None = None
     select_star: bool = False
     distinct: bool = False
+    # ``AT EPOCH n SELECT ...``: read at historical epoch ``n`` instead of
+    # the latest committed snapshot (None = latest).
+    at_epoch: int | None = None
 
 
 @dataclass(frozen=True)
@@ -247,6 +250,23 @@ class CreateTable(Statement):
 class Insert(Statement):
     table: str
     rows: list[list[Any]]
+
+
+@dataclass
+class Delete(Statement):
+    """``DELETE FROM t [WHERE ...]``: delete-vector marks, no rewrites."""
+
+    table: str
+    where: Expr | None = None
+
+
+@dataclass
+class Update(Statement):
+    """``UPDATE t SET col = expr, ... [WHERE ...]`` (delete + reinsert)."""
+
+    table: str
+    assignments: list[tuple[str, Expr]]
+    where: Expr | None = None
 
 
 @dataclass

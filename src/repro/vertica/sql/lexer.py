@@ -32,6 +32,7 @@ KEYWORDS = frozenset(
         "JOIN", "ON", "INNER", "LEFT", "OUTER",
         "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "EXPLAIN",
         "PROFILE", "COPY",
+        "DELETE", "UPDATE", "SET", "AT", "EPOCH", "LATEST",
         "SEGMENTED", "UNSEGMENTED", "HASH", "ALL", "NODES",
         "USING", "PARAMETERS", "OVER", "PARTITION", "BEST",
         "COUNT", "SUM", "AVG", "MIN", "MAX",

@@ -8,6 +8,9 @@ Supported statements::
         OVER (PARTITION BY col | PARTITION BEST | PARTITION NODES) FROM <table>
     CREATE TABLE t (col type, ...) [SEGMENTED BY HASH(col) ALL NODES | UNSEGMENTED]
     INSERT INTO t VALUES (...), (...)
+    DELETE FROM t [WHERE ...]
+    UPDATE t SET col = expr, ... [WHERE ...]
+    AT EPOCH n | LATEST SELECT ...
     DROP TABLE [IF EXISTS] t
 
 The grammar follows standard SQL precedence: OR < AND < NOT < comparison <
@@ -126,8 +129,14 @@ class _Parser:
             return self.create_table()
         if self.check_keyword("INSERT"):
             return self.insert()
+        if self.check_keyword("DELETE"):
+            return self.delete()
+        if self.check_keyword("UPDATE"):
+            return self.update()
         if self.check_keyword("DROP"):
             return self.drop_table()
+        if self.accept_keyword("AT"):
+            return self._at_epoch()
         if self.accept_keyword("EXPLAIN"):
             inner = self.statement()
             if not isinstance(inner, ast.Select):
@@ -306,6 +315,51 @@ class _Parser:
         while self.accept_punct(","):
             rows.append(self._value_row())
         return ast.Insert(table, rows)
+
+    def delete(self) -> ast.Delete:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_ident("table name")
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Delete(table, where)
+
+    def update(self) -> ast.Update:
+        self.expect_keyword("UPDATE")
+        table = self.expect_ident("table name")
+        self.expect_keyword("SET")
+        assignments = [self._assignment()]
+        while self.accept_punct(","):
+            assignments.append(self._assignment())
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.expression()
+        return ast.Update(table, assignments, where)
+
+    def _assignment(self) -> tuple[str, ast.Expr]:
+        column = self.expect_ident("column name")
+        self._expect_eq()
+        return column, self.expression()
+
+    def _at_epoch(self) -> ast.Select:
+        """``AT EPOCH n | LATEST <select>`` (the AT is already consumed)."""
+        self.expect_keyword("EPOCH")
+        epoch: int | None = None
+        if not self.accept_keyword("LATEST"):
+            token = self.current
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError(
+                    "AT EPOCH requires a number or LATEST",
+                    position=token.position,
+                )
+            self.advance()
+            epoch = int(float(token.value))
+        inner = self.statement()
+        if not isinstance(inner, ast.Select):
+            raise SqlSyntaxError("AT EPOCH supports SELECT statements only")
+        inner.at_epoch = epoch
+        return inner
 
     def _value_row(self) -> list[Any]:
         self.expect_punct("(")

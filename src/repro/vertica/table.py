@@ -9,13 +9,23 @@ in memory (the default, for fast tests) or as real on-disk segment files
 Every row also carries a hidden global row id (``_rowid``) assigned at insert
 time.  Global row ids are what the ODBC path's ordered range fetches filter
 on — the operation that destroys locality, as §3 of the paper describes.
+
+Storage is MVCC'd per :mod:`repro.vertica.txn`: every rowgroup, segment
+file, and WOS batch is stamped with the commit epoch that created it, each
+segment carries a delete vector, and scans resolve through a
+:class:`~repro.vertica.txn.epochs.Snapshot` — rows whose insert epoch is
+in the snapshot's future, or whose delete epoch is at-or-before it, never
+leave the segment.  ``snapshot=None`` at this layer means "no transaction
+view": all committed *and* in-flight storage, all deletes applied — the
+pre-MVCC behaviour, kept for standalone :class:`Segment`/:class:`Table`
+use outside a cluster.  Cluster scan paths always resolve a real snapshot.
 """
 
 from __future__ import annotations
 
 import threading
 from pathlib import Path
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 import numpy as np
 
@@ -24,15 +34,52 @@ from repro.storage.encoding import ColumnSchema, SqlType, coerce_to_dtype
 from repro.storage.files import SegmentFile, SegmentFileWriter
 from repro.storage.rowgroup import RowGroup
 from repro.vertica.segmentation import SegmentationScheme
+from repro.vertica.txn.delete_vector import DeleteVector, FrozenDeleteIndex
+from repro.vertica.txn.wos import WosBatch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vertica.telemetry import Telemetry
+    from repro.vertica.txn.epochs import EpochClock, Snapshot
 
 __all__ = ["Table", "Segment", "ROWID_COLUMN"]
 
 ROWID_COLUMN = "_rowid"
 DEFAULT_ROWGROUP_ROWS = 65_536
 
+# The epoch a ``snapshot=None`` scan reads at: beyond every stamp, so it
+# sees all storage and applies every delete — exactly the pre-MVCC view.
+UNBOUNDED_EPOCH = 2**62
+
+
+def snapshot_epoch(snapshot: "Snapshot | None") -> int:
+    return UNBOUNDED_EPOCH if snapshot is None else snapshot.epoch
+
+
+class SegmentScanSet:
+    """A frozen, consistent set of storage to scan: taken atomically under
+    the segment's mutation lock, immune to concurrent appends, moveout
+    swaps, and delete-vector updates for the lifetime of the scan."""
+
+    __slots__ = ("rowgroups", "files", "wos", "deletes")
+
+    def __init__(self, rowgroups: list[RowGroup], files: list[SegmentFile],
+                 wos: list[WosBatch], deletes: FrozenDeleteIndex) -> None:
+        self.rowgroups = rowgroups
+        self.files = files
+        self.wos = wos
+        self.deletes = deletes
+
 
 class Segment:
-    """One node's slice of a table: an append-only list of row groups."""
+    """One node's slice of a table: epoch-stamped row groups plus a WOS.
+
+    Read-optimized storage (``_memory_rowgroups`` / ``_files``) and the
+    write-optimized store (``_wos``) are guarded by ``_mutation_lock``;
+    scans take a :class:`SegmentScanSet` under the lock and then decode
+    without it.  Scan order is always ROS rowgroups (memory, then files)
+    followed by WOS batches — the Tuple Mover's moveout flushes a *prefix*
+    of the WOS to the *end* of the ROS, which preserves that order exactly.
+    """
 
     def __init__(
         self,
@@ -46,8 +93,13 @@ class Segment:
         self.node_index = node_index
         self.schema = list(schema)
         self.codec = codec
+        self._mutation_lock = threading.RLock()
         self._memory_rowgroups: list[RowGroup] = []
+        self._memory_epochs: list[int] = []
         self._files: list[SegmentFile] = []
+        self._file_epochs: list[int] = []
+        self._wos: list[WosBatch] = []
+        self.delete_vector = DeleteVector()
         self._data_dir = data_dir
         self._file_counter = 0
         if data_dir is not None:
@@ -59,56 +111,189 @@ class Segment:
 
     @property
     def row_count(self) -> int:
-        memory_rows = sum(rg.row_count for rg in self._memory_rowgroups)
-        disk_rows = sum(f.row_count for f in self._files)
-        return memory_rows + disk_rows
+        """Physical rows stored (ROS + WOS), ignoring delete vectors."""
+        with self._mutation_lock:
+            memory_rows = sum(rg.row_count for rg in self._memory_rowgroups)
+            disk_rows = sum(f.row_count for f in self._files)
+            wos = sum(batch.rows for batch in self._wos)
+        return memory_rows + disk_rows + wos
+
+    @property
+    def wos_rows(self) -> int:
+        with self._mutation_lock:
+            return sum(batch.rows for batch in self._wos)
 
     @property
     def rowgroup_count(self) -> int:
-        return len(self._memory_rowgroups) + sum(f.rowgroup_count for f in self._files)
+        """Scannable storage units: ROS rowgroups plus unflushed WOS batches.
+
+        PARTITION BEST sizes its fan-out from this, so a table with live
+        WOS trickle data plans the same parallelism as the equivalent
+        table whose batches were already moved out.
+        """
+        with self._mutation_lock:
+            return (len(self._memory_rowgroups)
+                    + sum(f.rowgroup_count for f in self._files)
+                    + len(self._wos))
 
     @property
     def compressed_size(self) -> int:
         """Approximate on-disk footprint of this segment in bytes."""
-        memory = sum(rg.compressed_size for rg in self._memory_rowgroups)
-        disk = sum(f.file_size for f in self._files)
+        with self._mutation_lock:
+            memory = sum(rg.compressed_size for rg in self._memory_rowgroups)
+            disk = sum(f.file_size for f in self._files)
         return memory + disk
 
-    def append(self, arrays: dict[str, np.ndarray]) -> None:
-        """Append one batch (already routed to this segment) as row groups."""
-        if not arrays:
+    def visible_row_count(self, snapshot: "Snapshot | None" = None) -> int:
+        """Rows a scan at ``snapshot`` yields from this segment.
+
+        Inserted-and-visible minus deleted-and-visible; the subtraction is
+        exact because a delete epoch is never smaller than its row's insert
+        epoch (only visible rows can be deleted).
+        """
+        cap = snapshot_epoch(snapshot)
+        with self._mutation_lock:
+            ros = sum(
+                rg.row_count
+                for rg, e in zip(self._memory_rowgroups, self._memory_epochs)
+                if e <= cap
+            )
+            disk = sum(
+                f.row_count
+                for f, e in zip(self._files, self._file_epochs)
+                if e <= cap
+            )
+            wos = sum(b.rows for b in self._wos if b.epoch <= cap)
+            deletes = self.delete_vector.frozen()
+        return ros + disk + wos - deletes.count_at(cap)
+
+    # -- writes ------------------------------------------------------------
+
+    def append(self, arrays: dict[str, np.ndarray], epoch: int = 0) -> None:
+        """Append one batch (already routed to this segment) as row groups.
+
+        The batch is encoded outside the mutation lock (compression is the
+        expensive part) and spliced in under it, stamped with ``epoch``.
+        """
+        rows = self._validated_rows(arrays)
+        if rows == 0:
             return
+        rowgroups = self._encode_rowgroups(arrays, rows)
+        if self.on_disk:
+            segment_file = self._write_segment_file(rowgroups)
+            with self._mutation_lock:
+                self._files.append(segment_file)
+                self._file_epochs.append(epoch)
+        else:
+            with self._mutation_lock:
+                self._memory_rowgroups.extend(rowgroups)
+                self._memory_epochs.extend([epoch] * len(rowgroups))
+
+    def append_wos(self, arrays: dict[str, np.ndarray], epoch: int) -> int:
+        """Land one trickle-insert batch in the WOS, stamped with ``epoch``."""
+        rows = self._validated_rows(arrays)
+        if rows == 0:
+            return 0
+        batch = WosBatch(epoch, {n: np.asarray(a) for n, a in arrays.items()})
+        with self._mutation_lock:
+            self._wos.append(batch)
+        return rows
+
+    def rollback_epoch(self, epoch: int) -> None:
+        """Remove all storage stamped ``epoch`` (a failed insert's debris).
+
+        Only ever called for a pending epoch — no snapshot can have seen
+        the rows, so dropping them is invisible to every reader.
+        """
+        if epoch <= 0:
+            return
+        with self._mutation_lock:
+            keep = [i for i, e in enumerate(self._memory_epochs) if e != epoch]
+            if len(keep) != len(self._memory_epochs):
+                self._memory_rowgroups = [self._memory_rowgroups[i] for i in keep]
+                self._memory_epochs = [self._memory_epochs[i] for i in keep]
+            keep_files = [i for i, e in enumerate(self._file_epochs) if e != epoch]
+            if len(keep_files) != len(self._file_epochs):
+                self._files = [self._files[i] for i in keep_files]
+                self._file_epochs = [self._file_epochs[i] for i in keep_files]
+            self._wos = [b for b in self._wos if b.epoch != epoch]
+
+    def _validated_rows(self, arrays: dict[str, np.ndarray]) -> int:
+        if not arrays:
+            return 0
         lengths = {len(np.asarray(a)) for a in arrays.values()}
         if len(lengths) != 1:
             raise StorageError("ragged arrays appended to segment")
         (rows,) = lengths
-        if rows == 0:
-            return
+        return rows
+
+    def _encode_rowgroups(self, arrays: dict[str, np.ndarray],
+                          rows: int) -> list[RowGroup]:
         rowgroups = []
         for start in range(0, rows, DEFAULT_ROWGROUP_ROWS):
             stop = min(start + DEFAULT_ROWGROUP_ROWS, rows)
-            chunk = {name: np.asarray(arr)[start:stop] for name, arr in arrays.items()}
-            rowgroups.append(RowGroup.from_arrays(self.schema, chunk, codec=self.codec))
-        if self.on_disk:
-            path = self._data_dir / f"{self.table_name}.seg{self._file_counter:06d}.bin"
-            self._file_counter += 1
-            with SegmentFileWriter(path, self.schema) as writer:
-                for rowgroup in rowgroups:
-                    writer.append(rowgroup)
-            self._files.append(SegmentFile(path))
-        else:
-            self._memory_rowgroups.extend(rowgroups)
+            chunk = {name: np.asarray(arr)[start:stop]
+                     for name, arr in arrays.items()}
+            rowgroups.append(
+                RowGroup.from_arrays(self.schema, chunk, codec=self.codec)
+            )
+        return rowgroups
 
-    def iter_rowgroups(self, columns: list[str] | None = None) -> Iterator[RowGroup]:
-        """Yield row groups; disk-backed groups are read from their files."""
-        yield from self._memory_rowgroups
-        for segment_file in self._files:
-            yield from segment_file.iter_rowgroups(columns)
+    def _write_segment_file(self, rowgroups: list[RowGroup]) -> SegmentFile:
+        with self._mutation_lock:
+            counter = self._file_counter
+            self._file_counter += 1
+        path = self._data_dir / f"{self.table_name}.seg{counter:06d}.bin"
+        with SegmentFileWriter(path, self.schema) as writer:
+            for rowgroup in rowgroups:
+                writer.append(rowgroup)
+        return SegmentFile(path)
+
+    # -- reads -------------------------------------------------------------
+
+    def capture(self, snapshot: "Snapshot | None" = None) -> SegmentScanSet:
+        """Atomically freeze the storage a scan at ``snapshot`` must read."""
+        cap = snapshot_epoch(snapshot)
+        with self._mutation_lock:
+            rowgroups = [
+                rg for rg, e in zip(self._memory_rowgroups, self._memory_epochs)
+                if e <= cap
+            ]
+            files = [
+                f for f, e in zip(self._files, self._file_epochs) if e <= cap
+            ]
+            wos = [b for b in self._wos if b.epoch <= cap]
+            deletes = self.delete_vector.frozen()
+        return SegmentScanSet(rowgroups, files, wos, deletes)
+
+    def iter_rowgroups(self, columns: list[str] | None = None,
+                       snapshot: "Snapshot | None" = None) -> Iterator[RowGroup]:
+        """Yield row groups; disk-backed groups are read from their files.
+
+        Without a snapshot this is raw physical ROS access (WOS batches and
+        delete vectors ignored) — storage-layer plumbing only.  With a
+        snapshot, surviving rows are re-encoded into fresh row groups so
+        the caller sees exactly the transactional view.
+        """
+        if snapshot is None:
+            with self._mutation_lock:
+                memory = list(self._memory_rowgroups)
+                files = list(self._files)
+            yield from memory
+            for segment_file in files:
+                yield from segment_file.iter_rowgroups(columns)
+            return
+        names = columns if columns is not None else [c.name for c in self.schema]
+        schema = [self._schema_column(name) for name in names]
+        for decoded in self.iter_batches(names, snapshot=snapshot):
+            yield RowGroup.from_arrays(schema, decoded, codec=self.codec)
 
     def iter_batches(self, columns: list[str] | None = None,
                      ranges: dict | None = None,
-                     prune_counter=None) -> Iterator[dict[str, np.ndarray]]:
-        """Stream the segment one decoded row group at a time.
+                     prune_counter=None,
+                     snapshot: "Snapshot | None" = None,
+                     ) -> Iterator[dict[str, np.ndarray]]:
+        """Stream the segment one decoded row group / WOS batch at a time.
 
         This is the source of the streaming execution pipeline: each yielded
         dict holds the requested columns of exactly one surviving row group,
@@ -117,16 +302,40 @@ class Segment:
         envelopes; row groups whose zone maps exclude any constrained column
         are skipped without decompressing a single block (``prune_counter``
         is called with the number of skipped row groups).
+
+        ``snapshot`` fixes the transactional view: storage stamped after the
+        snapshot epoch is not read, WOS batches visible at it are unioned in
+        after the ROS, and rows the frozen delete index marks deleted
+        at-or-before it are filtered out.
         """
         names = columns if columns is not None else [c.name for c in self.schema]
+        scan = self.capture(snapshot)
+        cap = snapshot_epoch(snapshot)
         constrained = self._constrained_columns(ranges)
-        for rowgroup in self._memory_rowgroups:
+        filtering = len(scan.deletes) > 0
+        read_names = list(names)
+        if filtering and ROWID_COLUMN not in read_names:
+            read_names.append(ROWID_COLUMN)
+
+        def resolve(decoded: dict[str, np.ndarray]) -> dict[str, np.ndarray] | None:
+            if not filtering:
+                return decoded
+            keep = scan.deletes.keep_mask(decoded[ROWID_COLUMN], cap)
+            if keep.all():
+                return {name: decoded[name] for name in names}
+            if not keep.any():
+                return None
+            return {name: decoded[name][keep] for name in names}
+
+        for rowgroup in scan.rowgroups:
             if constrained and not rowgroup.might_match(ranges, constrained):
                 if prune_counter is not None:
                     prune_counter(1)
                 continue
-            yield rowgroup.read(names)
-        for segment_file in self._files:
+            batch = resolve(rowgroup.read(read_names))
+            if batch is not None:
+                yield batch
+        for segment_file in scan.files:
             for index in range(segment_file.rowgroup_count):
                 if constrained and not self._zone_maps_match(
                         lambda col, i=index, f=segment_file: f.read_block(i, col),
@@ -134,7 +343,15 @@ class Segment:
                     if prune_counter is not None:
                         prune_counter(1)
                     continue
-                yield segment_file.read_rowgroup(index, names).read(names)
+                batch = resolve(
+                    segment_file.read_rowgroup(index, read_names).read(read_names)
+                )
+                if batch is not None:
+                    yield batch
+        for wos_batch in scan.wos:
+            batch = resolve(wos_batch.read(read_names))
+            if batch is not None:
+                yield batch
 
     def typed_empty(self, columns: list[str] | None = None) -> dict[str, np.ndarray]:
         """Zero-row arrays carrying the schema's declared dtypes."""
@@ -146,16 +363,20 @@ class Segment:
 
     def read_columns(self, columns: list[str] | None = None,
                      ranges: dict | None = None,
-                     prune_counter=None) -> dict[str, np.ndarray]:
+                     prune_counter=None,
+                     snapshot: "Snapshot | None" = None,
+                     ) -> dict[str, np.ndarray]:
         """Materialize the segment (the given columns) as arrays.
 
-        The eager counterpart of :meth:`iter_batches` (same pruning and
-        telemetry behaviour), kept for the ``mode="eager"`` pipeline
-        fallback and for whole-segment consumers like the ODBC path.
+        The eager counterpart of :meth:`iter_batches` (same pruning,
+        snapshot resolution, and telemetry behaviour), kept for the
+        ``mode="eager"`` pipeline fallback and for whole-segment consumers
+        like the ODBC path.
         """
         names = columns if columns is not None else [c.name for c in self.schema]
         pieces: dict[str, list[np.ndarray]] = {name: [] for name in names}
-        for decoded in self.iter_batches(names, ranges, prune_counter):
+        for decoded in self.iter_batches(names, ranges, prune_counter,
+                                         snapshot=snapshot):
             for name in names:
                 pieces[name].append(decoded[name])
         empty = None
@@ -167,6 +388,282 @@ class Segment:
                 empty = empty if empty is not None else self.typed_empty(names)
                 out[name] = empty[name]
         return out
+
+    # -- Tuple Mover entry points ------------------------------------------
+
+    def moveout(self, committed_epoch: int, ahm: int = 0) -> int:
+        """Flush the committed prefix of the WOS into ROS storage.
+
+        Only a *prefix* with epochs ≤ ``committed_epoch`` moves (pending
+        epochs and everything after them stay), and it lands at the end of
+        the ROS — so a scan at any epoch sees the same rows in the same
+        order before and after the flush.  Consecutive batches whose epochs
+        are all ≤ ``ahm`` are compacted into shared row groups stamped with
+        their max epoch (no valid snapshot can distinguish them); younger
+        batches keep per-epoch row groups so ``AT EPOCH`` stays exact.
+
+        Returns the number of rows flushed.
+        """
+        with self._mutation_lock:
+            prefix: list[WosBatch] = []
+            for batch in self._wos:
+                if batch.epoch > committed_epoch:
+                    break
+                prefix.append(batch)
+        if not prefix:
+            return 0
+        groups = self._group_wos_batches(prefix, ahm)
+        built: list[tuple[int, list[RowGroup]]] = []
+        for epoch, batches in groups:
+            arrays = _concat_stored(batches)
+            rows = len(next(iter(arrays.values())))
+            built.append((epoch, self._encode_rowgroups(arrays, rows)))
+        if self.on_disk:
+            files = [(epoch, self._write_segment_file(rowgroups))
+                     for epoch, rowgroups in built]
+        with self._mutation_lock:
+            current = self._wos[:len(prefix)]
+            if len(current) != len(prefix) or any(
+                    a is not b for a, b in zip(current, prefix)):
+                return 0  # lost a race with another mover pass; retry later
+            del self._wos[:len(prefix)]
+            if self.on_disk:
+                for epoch, segment_file in files:
+                    self._files.append(segment_file)
+                    self._file_epochs.append(epoch)
+            else:
+                for epoch, rowgroups in built:
+                    self._memory_rowgroups.extend(rowgroups)
+                    self._memory_epochs.extend([epoch] * len(rowgroups))
+        return sum(batch.rows for batch in prefix)
+
+    @staticmethod
+    def _group_wos_batches(prefix: list[WosBatch],
+                           ahm: int) -> list[tuple[int, list[WosBatch]]]:
+        groups: list[tuple[int, list[WosBatch]]] = []
+        for batch in prefix:
+            if groups:
+                epoch, members = groups[-1]
+                mergeable = (batch.epoch <= ahm and epoch <= ahm) \
+                    or batch.epoch == epoch
+                if mergeable:
+                    groups[-1] = (max(epoch, batch.epoch), members + [batch])
+                    continue
+            groups.append((batch.epoch, [batch]))
+        return groups
+
+    def has_mergeout_work(self, ahm: int, small_rows: int,
+                          min_run: int = 2) -> bool:
+        """Cheap pre-check so the background mover only opens a
+        ``txn.mergeout`` span (and walks the candidate machinery) when a
+        pass could plausibly do something.  Conservative: may return True
+        for a pass that ends up merging nothing."""
+        frozen = self.delete_vector.frozen()
+        if len(frozen) and (frozen.epochs <= ahm).any():
+            return True
+        with self._mutation_lock:
+            for items, epochs, rows_of in (
+                (self._memory_rowgroups, self._memory_epochs,
+                 lambda rg: rg.row_count),
+                (self._files, self._file_epochs, lambda f: f.row_count),
+            ):
+                run_small = 0
+                for item, epoch in zip(items, epochs):
+                    if epoch <= ahm:
+                        if rows_of(item) < small_rows:
+                            run_small += 1
+                            if run_small >= min_run:
+                                return True
+                    else:
+                        run_small = 0
+        return False
+
+    def mergeout(self, ahm: int, small_rows: int,
+                 min_run: int = 2) -> tuple[int, int]:
+        """Compact small adjacent row groups and purge ancient deletes.
+
+        Only storage stamped at-or-before the AHM is touched: merged row
+        groups take the max epoch of their run (indistinguishable to every
+        snapshot ≥ AHM), and rows whose delete epoch is ≤ AHM — invisible
+        to every snapshot a query may still take — are dropped from the
+        rewrite and their delete-vector entries purged in the same critical
+        section.  A scan at any valid epoch is bit-identical before and
+        after.
+
+        Returns ``(bytes_rewritten, rows_purged)``.
+        """
+        frozen = self.delete_vector.frozen()
+        purgeable = frozen.rowids[frozen.epochs <= ahm]
+        bytes_rewritten = 0
+        rows_purged = 0
+        done_memory, done_files = False, False
+        while not (done_memory and done_files):
+            if not done_memory:
+                result = self._mergeout_memory_once(ahm, small_rows, min_run,
+                                                    purgeable)
+                if result is None:
+                    done_memory = True
+                else:
+                    bytes_rewritten += result[0]
+                    rows_purged += result[1]
+            elif not done_files:
+                result = self._mergeout_files_once(ahm, small_rows, min_run,
+                                                   purgeable)
+                if result is None:
+                    done_files = True
+                else:
+                    bytes_rewritten += result[0]
+                    rows_purged += result[1]
+        return bytes_rewritten, rows_purged
+
+    def _mergeout_runs(self, items: list, epochs: list[int], ahm: int,
+                       small_rows: int, min_run: int,
+                       rows_of) -> list[tuple[int, list]]:
+        """Maximal runs of adjacent mergeable storage units.
+
+        A run qualifies for rewrite when it holds ≥ ``min_run`` units
+        smaller than ``small_rows`` (compaction) — purge-only rewrites are
+        decided later, once the run's rowids have been decoded.
+        """
+        runs: list[tuple[int, list]] = []
+        start, run = 0, []
+        for i, (item, epoch) in enumerate(zip(items, epochs)):
+            if epoch <= ahm:
+                if not run:
+                    start = i
+                run.append(item)
+            else:
+                if run:
+                    runs.append((start, run))
+                run = []
+        if run:
+            runs.append((start, run))
+        selected = []
+        for start, members in runs:
+            small = sum(1 for m in members if rows_of(m) < small_rows)
+            if small >= min_run and len(members) >= 2:
+                selected.append((start, members))
+        return selected
+
+    def _purge_only_runs(self, items: list, epochs: list[int], ahm: int,
+                         purgeable: np.ndarray,
+                         decode_rowids) -> list[tuple[int, list]]:
+        """Single units (any size) that hold rows purgeable behind the AHM."""
+        selected = []
+        for i, (item, epoch) in enumerate(zip(items, epochs)):
+            if epoch > ahm:
+                continue
+            rowids = decode_rowids(item)
+            pos = np.searchsorted(purgeable, rowids)
+            pos = np.minimum(pos, len(purgeable) - 1)
+            if (purgeable[pos] == rowids).any():
+                selected.append((i, [item]))
+        return selected
+
+    def _mergeout_memory_once(self, ahm, small_rows, min_run, purgeable):
+        with self._mutation_lock:
+            items = list(self._memory_rowgroups)
+            epochs = list(self._memory_epochs)
+        candidates = self._mergeout_runs(
+            items, epochs, ahm, small_rows, min_run,
+            rows_of=lambda rg: rg.row_count)
+        if not candidates and len(purgeable):
+            candidates = self._purge_only_runs(
+                items, epochs, ahm, purgeable,
+                decode_rowids=lambda rg: rg.read([ROWID_COLUMN])[ROWID_COLUMN])
+        for start, members in candidates:
+            merged = self._rewrite_run(members, ahm, purgeable)
+            if merged is None:
+                continue
+            rowgroups, purged_rowids, nbytes = merged
+            epoch = max(epochs[start:start + len(members)])
+            with self._mutation_lock:
+                current = self._memory_rowgroups[start:start + len(members)]
+                if len(current) != len(members) or any(
+                        a is not b for a, b in zip(current, members)):
+                    continue  # storage moved under us; try again next pass
+                self._memory_rowgroups[start:start + len(members)] = rowgroups
+                self._memory_epochs[start:start + len(members)] = \
+                    [epoch] * len(rowgroups)
+                self.delete_vector.purge(purged_rowids)
+            return nbytes, len(purged_rowids)
+        return None
+
+    def _mergeout_files_once(self, ahm, small_rows, min_run, purgeable):
+        with self._mutation_lock:
+            items = list(self._files)
+            epochs = list(self._file_epochs)
+        candidates = self._mergeout_runs(
+            items, epochs, ahm, small_rows, min_run,
+            rows_of=lambda f: f.row_count)
+        if not candidates and len(purgeable):
+            candidates = self._purge_only_runs(
+                items, epochs, ahm, purgeable,
+                decode_rowids=lambda f: np.concatenate([
+                    rg.read([ROWID_COLUMN])[ROWID_COLUMN]
+                    for rg in f.iter_rowgroups([ROWID_COLUMN])
+                ]) if f.rowgroup_count else np.empty(0, dtype=np.int64))
+        for start, members in candidates:
+            merged = self._rewrite_file_run(members, ahm, purgeable)
+            if merged is None:
+                continue
+            segment_file, purged_rowids, nbytes = merged
+            epoch = max(epochs[start:start + len(members)])
+            with self._mutation_lock:
+                current = self._files[start:start + len(members)]
+                if len(current) != len(members) or any(
+                        a is not b for a, b in zip(current, members)):
+                    continue
+                # Old segment files leave the scan set but are not unlinked:
+                # a concurrent capture may still hold a reference mid-read.
+                # Space is reclaimed when the segment's directory goes away.
+                self._files[start:start + len(members)] = [segment_file]
+                self._file_epochs[start:start + len(members)] = [epoch]
+                self.delete_vector.purge(purged_rowids)
+            return nbytes, len(purged_rowids)
+        return None
+
+    def _rewrite_run(self, members: list[RowGroup], ahm: int,
+                     purgeable: np.ndarray):
+        names = [c.name for c in self.schema]
+        arrays = _concat_stored([_RowGroupReader(rg, names) for rg in members])
+        return self._filter_and_encode(arrays, ahm, purgeable)
+
+    def _rewrite_file_run(self, members: list[SegmentFile], ahm: int,
+                          purgeable: np.ndarray):
+        names = [c.name for c in self.schema]
+        decoded = []
+        for segment_file in members:
+            for rowgroup in segment_file.iter_rowgroups(names):
+                decoded.append(_RowGroupReader(rowgroup, names))
+        if not decoded:
+            return None
+        arrays = _concat_stored(decoded)
+        result = self._filter_and_encode(arrays, ahm, purgeable)
+        if result is None:
+            return None
+        rowgroups, purged_rowids, _ = result
+        segment_file = self._write_segment_file(rowgroups)
+        return segment_file, purged_rowids, segment_file.file_size
+
+    def _filter_and_encode(self, arrays: dict[str, np.ndarray], ahm: int,
+                           purgeable: np.ndarray):
+        rowids = arrays[ROWID_COLUMN]
+        if len(purgeable):
+            pos = np.searchsorted(purgeable, rowids)
+            pos = np.minimum(pos, max(len(purgeable) - 1, 0))
+            purge_mask = purgeable[pos] == rowids
+        else:
+            purge_mask = np.zeros(len(rowids), dtype=bool)
+        if purge_mask.any():
+            arrays = {name: arr[~purge_mask] for name, arr in arrays.items()}
+        purged_rowids = rowids[purge_mask]
+        rows = len(arrays[ROWID_COLUMN])
+        rowgroups = self._encode_rowgroups(arrays, rows) if rows else []
+        nbytes = sum(rg.compressed_size for rg in rowgroups)
+        return rowgroups, purged_rowids, nbytes
+
+    # -- helpers -----------------------------------------------------------
 
     def _constrained_columns(self, ranges: dict | None) -> list[str]:
         """The subset of range constraints that name columns of this segment."""
@@ -190,6 +687,25 @@ class Segment:
             if column.name == name:
                 return column
         raise StorageError(f"segment schema has no column {name!r}")
+
+
+class _RowGroupReader:
+    """Adapts a RowGroup to the ``.arrays`` shape ``_concat_stored`` eats."""
+
+    __slots__ = ("arrays",)
+
+    def __init__(self, rowgroup: RowGroup, names: list[str]) -> None:
+        self.arrays = rowgroup.read(names)
+
+
+def _concat_stored(batches: list) -> dict[str, np.ndarray]:
+    names = list(batches[0].arrays)
+    if len(batches) == 1:
+        return dict(batches[0].arrays)
+    return {
+        name: np.concatenate([b.arrays[name] for b in batches])
+        for name in names
+    }
 
 
 class Table:
@@ -222,6 +738,14 @@ class Table:
         self.node_count = node_count
         self._lock = threading.Lock()
         self._next_rowid = 0
+        # Bound by the owning cluster; a standalone Table has no epoch
+        # clock and stamps everything with epoch 0 (always visible).
+        self.epochs: "EpochClock | None" = None
+        self.telemetry: "Telemetry | None" = None
+        # Serializes DELETE/UPDATE statements against each other (write-
+        # write conflict resolution is first-wins via the delete vector,
+        # but interleaved collect/apply phases would double-apply SETs).
+        self.write_lock = threading.Lock()
         if k_safety not in (0, 1):
             raise CatalogError(f"k_safety must be 0 or 1, got {k_safety}")
         if k_safety == 1 and node_count < 2:
@@ -276,11 +800,34 @@ class Table:
     def has_column(self, name: str) -> bool:
         return any(c.name == name for c in self.user_schema)
 
-    def insert(self, arrays: dict[str, np.ndarray]) -> int:
+    def resolve_snapshot(self, at_epoch: int | None = None) -> "Snapshot | None":
+        """The snapshot a statement should read at (``None`` → latest
+        committed).  Tables outside a cluster have no epoch clock and read
+        the raw physical view."""
+        if self.epochs is None:
+            return None
+        return self.epochs.snapshot(at_epoch)
+
+    def all_segments(self) -> list[Segment]:
+        if self.buddy_segments is None:
+            return list(self.segments)
+        return list(self.segments) + list(self.buddy_segments)
+
+    def insert(self, arrays: dict[str, np.ndarray], direct: bool = True,
+               epoch: int | None = None) -> int:
         """Insert a batch of rows given as per-column arrays.
 
         Returns the number of rows inserted.  Thread-safe; rows receive
-        consecutive global row ids in insertion order.
+        consecutive global row ids in insertion order, and the whole batch
+        is stamped with **one** commit epoch — a concurrent scan (which
+        reads at the committed watermark) sees either none of the batch or
+        all of it, never a torn prefix.
+
+        ``direct=True`` (bulk loads) encodes straight into ROS rowgroups;
+        ``direct=False`` (trickle INSERTs) lands in the per-segment WOS for
+        the Tuple Mover to flush later.  Passing ``epoch`` enrolls the
+        insert in a caller-managed transaction (UPDATE's reinsert path)
+        instead of allocating and committing its own.
         """
         missing = [c.name for c in self.user_schema if c.name not in arrays]
         if missing:
@@ -310,19 +857,47 @@ class Table:
         if ((assignment < 0) | (assignment >= self.node_count)).any():
             raise CatalogError("segmentation assigned a row to a nonexistent node")
         rowids = np.arange(start_rowid, start_rowid + rows, dtype=np.int64)
-        for node in range(self.node_count):
-            mask = assignment == node
-            if not mask.any():
-                continue
-            batch = {name: arr[mask] for name, arr in coerced.items()}
-            batch[ROWID_COLUMN] = rowids[mask]
-            self.segments[node].append(batch)
-            if self.buddy_segments is not None:
-                self.buddy_segments[node].append(batch)
+        own_epoch = epoch is None and self.epochs is not None
+        if epoch is not None:
+            commit_epoch = epoch
+        elif self.epochs is not None:
+            commit_epoch = self.epochs.begin()
+        else:
+            commit_epoch = 0
+        try:
+            for node in range(self.node_count):
+                mask = assignment == node
+                if not mask.any():
+                    continue
+                batch = {name: arr[mask] for name, arr in coerced.items()}
+                batch[ROWID_COLUMN] = rowids[mask]
+                targets = [self.segments[node]]
+                if self.buddy_segments is not None:
+                    targets.append(self.buddy_segments[node])
+                for segment in targets:
+                    if direct:
+                        segment.append(batch, epoch=commit_epoch)
+                    else:
+                        segment.append_wos(batch, epoch=commit_epoch)
+        except BaseException:
+            for segment in self.all_segments():
+                segment.rollback_epoch(commit_epoch)
+            if own_epoch:
+                self.epochs.abort(commit_epoch)
+            raise
+        if own_epoch:
+            self.epochs.commit(commit_epoch)
+        if not direct and self.telemetry is not None:
+            self.telemetry.gauge_add("wos_rows", rows)
         return rows
 
     def insert_rows(self, rows: list[list]) -> int:
-        """Insert rows given positionally (INSERT ... VALUES path)."""
+        """Insert rows given positionally (INSERT ... VALUES path).
+
+        Trickle inserts land in the WOS; the Tuple Mover flushes them to
+        ROS rowgroups in bulk (moveout) instead of encoding a compressed
+        rowgroup per statement.
+        """
         if not rows:
             return 0
         width = len(self.user_schema)
@@ -338,17 +913,24 @@ class Table:
                 arrays[column.name] = np.asarray(values, dtype=object)
             else:
                 arrays[column.name] = np.asarray(values)
-        return self.insert(arrays)
+        return self.insert(arrays, direct=False)
 
-    def segment_row_counts(self) -> list[int]:
-        """Rows per node segment — the distribution VFT's locality policy
-        mirrors into Distributed R partitions."""
-        return [segment.row_count for segment in self.segments]
+    def segment_row_counts(self, snapshot: "Snapshot | None" = None) -> list[int]:
+        """Visible rows per node segment — the distribution VFT's locality
+        policy mirrors into Distributed R partitions.
+
+        Resolves at the latest committed snapshot by default (when the
+        table has an epoch clock), so a caller racing a concurrent insert
+        sees whole committed batches, never a torn prefix.
+        """
+        if snapshot is None and self.epochs is not None:
+            snapshot = self.epochs.snapshot()
+        return [segment.visible_row_count(snapshot) for segment in self.segments]
 
     def scan_node(
         self, node: int, columns: list[str] | None = None,
         include_rowid: bool = False, ranges: dict | None = None,
-        prune_counter=None,
+        prune_counter=None, snapshot: "Snapshot | None" = None,
     ) -> dict[str, np.ndarray]:
         """Read one node's segment (used by UDF fan-out and transfers),
         optionally pruning row groups via zone maps (``ranges``)."""
@@ -357,12 +939,14 @@ class Table:
         if include_rowid:
             read_names.append(ROWID_COLUMN)
         return self.segments[node].read_columns(
-            read_names, ranges=ranges, prune_counter=prune_counter)
+            read_names, ranges=ranges, prune_counter=prune_counter,
+            snapshot=snapshot)
 
     def iter_node_batches(
         self, node: int, columns: list[str] | None = None,
         include_rowid: bool = False, ranges: dict | None = None,
         prune_counter=None, replica: bool = False,
+        snapshot: "Snapshot | None" = None,
     ) -> Iterator[dict[str, np.ndarray]]:
         """Stream one node's segment (or its buddy replica) rowgroup-wise.
 
@@ -380,7 +964,8 @@ class Table:
             read_names.append(ROWID_COLUMN)
         segment = (self.buddy_segments if replica else self.segments)[node]
         return segment.iter_batches(read_names, ranges=ranges,
-                                    prune_counter=prune_counter)
+                                    prune_counter=prune_counter,
+                                    snapshot=snapshot)
 
     def buddy_host(self, node: int) -> int | None:
         """Node holding the buddy replica of ``node``'s segment (k-safety)."""
@@ -391,7 +976,7 @@ class Table:
     def scan_node_replica(
         self, node: int, columns: list[str] | None = None,
         include_rowid: bool = False, ranges: dict | None = None,
-        prune_counter=None,
+        prune_counter=None, snapshot: "Snapshot | None" = None,
     ) -> dict[str, np.ndarray]:
         """Read the buddy replica of ``node``'s segment."""
         if self.buddy_segments is None:
@@ -403,12 +988,17 @@ class Table:
         if include_rowid:
             read_names.append(ROWID_COLUMN)
         return self.buddy_segments[node].read_columns(
-            read_names, ranges=ranges, prune_counter=prune_counter)
+            read_names, ranges=ranges, prune_counter=prune_counter,
+            snapshot=snapshot)
 
-    def scan_all(self, columns: list[str] | None = None) -> dict[str, np.ndarray]:
+    def scan_all(self, columns: list[str] | None = None,
+                 snapshot: "Snapshot | None" = None) -> dict[str, np.ndarray]:
         """Read the whole table, in arbitrary (segment) order."""
         names = columns if columns is not None else self.column_names
-        parts = [self.scan_node(node, names) for node in range(self.node_count)]
+        if snapshot is None and self.epochs is not None:
+            snapshot = self.epochs.snapshot()
+        parts = [self.scan_node(node, names, snapshot=snapshot)
+                 for node in range(self.node_count)]
         return {
             name: np.concatenate([p[name] for p in parts]) if parts else np.empty(0)
             for name in names

@@ -1,0 +1,39 @@
+"""Transactional mutation engine: epochs, delete vectors, WOS, Tuple Mover.
+
+The paper assumes an *operational* Vertica underneath the analytics: tables
+keep ingesting and mutating while models train and score against them.
+"The Vertica Analytic Database: C-Store 7 Years Later" describes the
+subsystem this package reproduces:
+
+* a global **epoch clock** (:mod:`~repro.vertica.txn.epochs`) — every
+  committed change is stamped with an epoch, and every statement reads
+  through a :class:`~repro.vertica.txn.epochs.Snapshot` fixed at one
+  committed epoch, so scans never observe in-flight work;
+* **delete vectors** (:mod:`~repro.vertica.txn.delete_vector`) —
+  epoch-stamped sidecars recording which rows a DELETE removed, consulted
+  at scan time so DELETE/UPDATE never rewrite read-optimized rowgroups;
+* a **WOS** (:mod:`~repro.vertica.txn.wos`) — a per-segment in-memory
+  write-optimized store absorbing trickle INSERTs without paying rowgroup
+  encoding per statement, unioned into scans at snapshot resolution;
+* the **Tuple Mover** (:mod:`~repro.vertica.txn.mover`) — a background
+  service doing *moveout* (WOS batches → ROS rowgroups) and *mergeout*
+  (compacting small rowgroups and purging rows whose delete epoch precedes
+  the Ancient History Mark);
+* DELETE / UPDATE statement implementations
+  (:mod:`~repro.vertica.txn.mutations`) built on the pieces above.
+"""
+
+from repro.vertica.txn.delete_vector import DeleteVector, FrozenDeleteIndex
+from repro.vertica.txn.epochs import EpochClock, Snapshot
+from repro.vertica.txn.mover import TupleMover, TupleMoverConfig
+from repro.vertica.txn.wos import WosBatch
+
+__all__ = [
+    "EpochClock",
+    "Snapshot",
+    "DeleteVector",
+    "FrozenDeleteIndex",
+    "WosBatch",
+    "TupleMover",
+    "TupleMoverConfig",
+]

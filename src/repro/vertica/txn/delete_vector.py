@@ -1,0 +1,149 @@
+"""Per-segment delete vectors: epoch-stamped "this row is gone" sidecars.
+
+A DELETE in Vertica never rewrites read-optimized storage; it records the
+deleted rows' positions in a small sidecar stamped with the delete epoch,
+and every scan subtracts the sidecar at snapshot resolution.  Our rows
+carry a hidden global ``_rowid``, which works uniformly for ROS rowgroups
+and WOS batches, so the sidecar here maps ``rowid -> delete epoch``.
+
+Scans never read the live mapping: they take a :meth:`DeleteVector.frozen`
+snapshot — two parallel sorted arrays — and apply
+:meth:`FrozenDeleteIndex.keep_mask` per batch.  Freezing is safe without
+coordination games because a delete committed *after* a scan's snapshot
+carries an epoch greater than the snapshot epoch (the mask ignores it),
+and purge (mergeout behind the AHM) rebuilds copies rather than mutating
+arrays a frozen index may still reference.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["DeleteVector", "FrozenDeleteIndex", "EMPTY_INDEX"]
+
+
+class FrozenDeleteIndex:
+    """An immutable point-in-time view of one segment's delete vector."""
+
+    __slots__ = ("rowids", "epochs")
+
+    def __init__(self, rowids: np.ndarray, epochs: np.ndarray) -> None:
+        self.rowids = rowids    # sorted ascending, int64
+        self.epochs = epochs    # aligned with rowids, int64
+
+    def __len__(self) -> int:
+        return len(self.rowids)
+
+    def keep_mask(self, rowids: np.ndarray, epoch: int) -> np.ndarray:
+        """True where a row survives at snapshot ``epoch``.
+
+        A row is filtered out iff it appears in the index with a delete
+        epoch ≤ ``epoch``; deletes from the snapshot's future are ignored.
+        """
+        rowids = np.asarray(rowids, dtype=np.int64)
+        if not len(self.rowids) or not len(rowids):
+            return np.ones(len(rowids), dtype=bool)
+        pos = np.searchsorted(self.rowids, rowids)
+        pos = np.minimum(pos, len(self.rowids) - 1)
+        deleted = (self.rowids[pos] == rowids) & (self.epochs[pos] <= epoch)
+        return ~deleted
+
+    def count_at(self, epoch: int) -> int:
+        """How many entries have delete epoch ≤ ``epoch``.
+
+        Because a row can only be deleted once visible, its delete epoch is
+        ≥ its insert epoch — so this count subtracts cleanly from the count
+        of rows whose insert epoch is ≤ ``epoch``.
+        """
+        if not len(self.epochs):
+            return 0
+        return int((self.epochs <= epoch).sum())
+
+
+EMPTY_INDEX = FrozenDeleteIndex(
+    np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+)
+
+
+class DeleteVector:
+    """The mutable, thread-safe delete sidecar of one segment."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[int, int] = {}
+        self._frozen: FrozenDeleteIndex | None = EMPTY_INDEX
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def add(self, rowids: np.ndarray, epoch: int) -> int:
+        """Record ``rowids`` as deleted at ``epoch``; returns rows added.
+
+        First delete wins: a rowid already present keeps its original
+        (smaller) delete epoch, so re-deleting an already-deleted row is a
+        no-op rather than a resurrection at a later epoch.
+        """
+        added = 0
+        with self._lock:
+            for rowid in np.asarray(rowids, dtype=np.int64):
+                key = int(rowid)
+                if key not in self._entries:
+                    self._entries[key] = epoch
+                    added += 1
+            if added:
+                self._frozen = None
+        return added
+
+    def rollback_epoch(self, epoch: int) -> int:
+        """Drop every entry stamped exactly ``epoch`` (a failed statement).
+
+        Safe for the same reason :meth:`DeleteVector.add` is first-wins:
+        entries carrying this epoch are precisely the ones that statement
+        added, and the epoch is still pending so no snapshot applied them.
+        """
+        with self._lock:
+            doomed = [k for k, v in self._entries.items() if v == epoch]
+            for key in doomed:
+                del self._entries[key]
+            if doomed:
+                self._frozen = None
+        return len(doomed)
+
+    def purge(self, rowids: np.ndarray) -> int:
+        """Drop entries for ``rowids`` (mergeout removed the rows themselves).
+
+        Copy-on-purge: any frozen index handed out earlier keeps its own
+        arrays, so in-flight scans at epochs ≥ AHM are unaffected (the rows
+        they would have filtered are gone from storage *and* their scan set
+        predates the purge).
+        """
+        purged = 0
+        with self._lock:
+            for rowid in np.asarray(rowids, dtype=np.int64):
+                if self._entries.pop(int(rowid), None) is not None:
+                    purged += 1
+            if purged:
+                self._frozen = None
+        return purged
+
+    def frozen(self) -> FrozenDeleteIndex:
+        """An immutable snapshot of the current entries (cached)."""
+        with self._lock:
+            if self._frozen is None:
+                if self._entries:
+                    rowids = np.fromiter(
+                        self._entries, dtype=np.int64, count=len(self._entries)
+                    )
+                    order = np.argsort(rowids, kind="stable")
+                    rowids = rowids[order]
+                    epochs = np.fromiter(
+                        self._entries.values(), dtype=np.int64,
+                        count=len(self._entries),
+                    )[order]
+                    self._frozen = FrozenDeleteIndex(rowids, epochs)
+                else:
+                    self._frozen = EMPTY_INDEX
+            return self._frozen

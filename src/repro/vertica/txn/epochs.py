@@ -1,0 +1,167 @@
+"""The global epoch clock and per-statement snapshots.
+
+Vertica's MVCC stamps every committed change with an *epoch* from a global
+clock; a statement reads at a fixed epoch and simply ignores rows inserted
+after it or deleted at-or-before it.  Two marks matter:
+
+* the **committed watermark** (``current_epoch``) — the largest epoch *E*
+  such that no transaction with an epoch ≤ *E* is still in flight.  New
+  snapshots are taken here, so a reader can never observe half of a batch
+  whose commit has not landed yet (the torn-insert race this module
+  exists to close);
+* the **Ancient History Mark** (AHM) — the oldest epoch any query may
+  still ask for.  Storage behind the AHM is fair game for the Tuple
+  Mover's mergeout to purge; ``AT EPOCH n`` requires ``AHM ≤ n``.
+
+Epoch 0 is the beginning of history: data loaded without an explicit
+transaction (plain :meth:`Segment.append`) is stamped 0 and visible to
+every snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+from repro.errors import ExecutionError
+
+__all__ = ["EpochClock", "Snapshot"]
+
+
+class Snapshot:
+    """An immutable read handle: "see everything committed at ``epoch``".
+
+    Visibility rule for a row with insert epoch *i* and (optional) delete
+    epoch *d*:  visible iff ``i <= epoch`` and (no delete or ``d > epoch``).
+    """
+
+    __slots__ = ("epoch",)
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = epoch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Snapshot(epoch={self.epoch})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Snapshot) and other.epoch == self.epoch
+
+    def __hash__(self) -> int:
+        return hash(("Snapshot", self.epoch))
+
+
+class EpochClock:
+    """Thread-safe allocator of commit epochs plus the two watermarks.
+
+    The protocol is two-phase: :meth:`begin` allocates the next epoch and
+    marks it *pending*; the writer applies its changes stamped with that
+    epoch (invisible to every snapshot, because snapshots are capped at
+    the committed watermark); :meth:`commit` unpends it, advancing the
+    watermark once no smaller epoch is still pending.  :meth:`abort` is
+    the same advance after the writer rolled its stamped data back out.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._last_allocated = 0
+        self._pending: set[int] = set()
+        self._ahm = 0
+        # Called (outside the lock) with the watermark delta whenever the
+        # committed watermark advances; the cluster binds this to the
+        # ``current_epoch`` gauge.
+        self.on_advance: Callable[[int], None] | None = None
+
+    # -- allocation --------------------------------------------------------
+
+    def begin(self) -> int:
+        """Allocate the next epoch and mark it pending."""
+        with self._lock:
+            self._last_allocated += 1
+            epoch = self._last_allocated
+            self._pending.add(epoch)
+        return epoch
+
+    def commit(self, epoch: int) -> int:
+        """Mark ``epoch`` committed; returns the new committed watermark."""
+        return self._finish(epoch)
+
+    def abort(self, epoch: int) -> int:
+        """Retire ``epoch`` after its stamped data has been rolled back.
+
+        Indistinguishable from :meth:`commit` for watermark purposes: the
+        epoch no longer blocks later commits from becoming visible, and
+        since its data is gone, snapshots at-or-after it see nothing of it.
+        """
+        return self._finish(epoch)
+
+    def _finish(self, epoch: int) -> int:
+        with self._lock:
+            before = self._watermark_locked()
+            self._pending.discard(epoch)
+            after = self._watermark_locked()
+        delta = after - before
+        if delta and self.on_advance is not None:
+            self.on_advance(delta)
+        return after
+
+    def stamp(self) -> int:
+        """Allocate and immediately commit one epoch (catalog-only ops)."""
+        epoch = self.begin()
+        self.commit(epoch)
+        return epoch
+
+    # -- watermarks --------------------------------------------------------
+
+    def _watermark_locked(self) -> int:
+        if self._pending:
+            return min(self._pending) - 1
+        return self._last_allocated
+
+    @property
+    def current_epoch(self) -> int:
+        """The committed watermark: the epoch new snapshots read at."""
+        with self._lock:
+            return self._watermark_locked()
+
+    @property
+    def ancient_history_mark(self) -> int:
+        with self._lock:
+            return self._ahm
+
+    def advance_ahm(self, epoch: int | None = None) -> int:
+        """Advance the AHM (default: to the committed watermark).
+
+        The AHM never retreats and never passes the committed watermark;
+        returns the AHM after the (possibly clamped) advance.
+        """
+        with self._lock:
+            target = self._watermark_locked() if epoch is None else epoch
+            target = min(target, self._watermark_locked())
+            if target > self._ahm:
+                self._ahm = target
+            return self._ahm
+
+    # -- snapshots ---------------------------------------------------------
+
+    def snapshot(self, epoch: int | None = None) -> Snapshot:
+        """A read handle at ``epoch`` (default: the committed watermark).
+
+        ``AT EPOCH n`` resolves here; epochs behind the AHM may already be
+        partially purged, and epochs past the watermark are the future —
+        both are rejected.
+        """
+        with self._lock:
+            watermark = self._watermark_locked()
+            ahm = self._ahm
+        if epoch is None:
+            return Snapshot(watermark)
+        if epoch > watermark:
+            raise ExecutionError(
+                f"AT EPOCH {epoch} is in the future (current epoch {watermark})"
+            )
+        if epoch < ahm:
+            raise ExecutionError(
+                f"AT EPOCH {epoch} precedes the ancient history mark ({ahm}); "
+                "that history has been purged"
+            )
+        return Snapshot(epoch)

@@ -1,0 +1,195 @@
+"""DELETE and UPDATE statement execution over the MVCC storage.
+
+Neither statement rewrites read-optimized storage:
+
+* ``DELETE FROM t WHERE ...`` scans for matching rows at the statement's
+  snapshot and records their rowids in the per-segment delete vectors,
+  stamped with one freshly committed epoch;
+* ``UPDATE t SET ... WHERE ...`` is Vertica's delete-plus-reinsert: the
+  matched rows are deleted (delete vector) and their updated images
+  re-inserted through the WOS — both stamped with the *same* epoch, so a
+  snapshot sees either the old rows or the new rows, never both or
+  neither.
+
+Statements against one table serialize on ``Table.write_lock``: the
+delete vector itself resolves write-write conflicts first-wins, but two
+interleaved collect/apply phases could, e.g., double-apply an UPDATE's
+SET expressions.  Readers are never blocked — they run against frozen
+snapshots throughout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.errors import SqlAnalysisError
+from repro.vertica import expressions
+from repro.vertica.expressions import columns_referenced
+from repro.vertica.table import ROWID_COLUMN
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vertica.cluster import VerticaCluster
+    from repro.vertica.sql import ast
+    from repro.vertica.table import Table
+
+__all__ = ["execute_delete", "execute_update"]
+
+
+def execute_delete(cluster: "VerticaCluster", stmt: "ast.Delete") -> int:
+    """Apply one DELETE statement; returns the number of rows deleted."""
+    table = _mutable_table(cluster, stmt.table)
+    with table.write_lock:
+        snapshot = table.resolve_snapshot()
+        matched = _collect_matches(table, stmt.where, snapshot,
+                                   columns=_where_columns(table, stmt.where))
+        total = sum(len(rowids) for _, rowids in matched)
+        if total == 0:
+            return 0
+        epochs = cluster.catalog.epochs
+        epoch = epochs.begin()
+        try:
+            added = _mark_deleted(table, matched, epoch)
+        except BaseException:
+            for segment in table.all_segments():
+                segment.delete_vector.rollback_epoch(epoch)
+            epochs.abort(epoch)
+            raise
+        epochs.commit(epoch)
+    cluster.telemetry.gauge_add("delete_vector_rows", added)
+    cluster.telemetry.add("rows_deleted", total)
+    cluster.tuple_mover.notify()
+    return total
+
+
+def execute_update(cluster: "VerticaCluster", stmt: "ast.Update") -> int:
+    """Apply one UPDATE statement; returns the number of rows updated."""
+    table = _mutable_table(cluster, stmt.table)
+    targets = [name for name, _ in stmt.assignments]
+    if len(set(targets)) != len(targets):
+        raise SqlAnalysisError(f"UPDATE sets a column twice: {targets}")
+    for name, expr in stmt.assignments:
+        if not table.has_column(name):
+            raise SqlAnalysisError(
+                f"table {table.name!r} has no column {name!r}")
+        for ref in columns_referenced(expr):
+            if not table.has_column(ref):
+                raise SqlAnalysisError(
+                    f"table {table.name!r} has no column {ref!r}")
+    with table.write_lock:
+        snapshot = table.resolve_snapshot()
+        _where_columns(table, stmt.where)  # validates references
+        matched = _collect_matches(table, stmt.where, snapshot,
+                                   columns=table.column_names,
+                                   keep_batches=True)
+        total = sum(len(rowids) for _, rowids in matched)
+        if total == 0:
+            return 0
+        old = _concat_matches(matched, table.column_names)
+        new_arrays = dict(old)
+        for name, expr in stmt.assignments:
+            value = np.atleast_1d(np.asarray(expressions.evaluate(expr, old)))
+            if len(value) == 1 and total != 1:
+                value = np.broadcast_to(value, (total,)).copy()
+            if len(value) != total:
+                raise SqlAnalysisError(
+                    f"SET {name} produced {len(value)} values for {total} rows")
+            new_arrays[name] = value
+        epochs = cluster.catalog.epochs
+        epoch = epochs.begin()
+        try:
+            added = _mark_deleted(table, matched, epoch)
+            table.insert(new_arrays, direct=False, epoch=epoch)
+        except BaseException:
+            for segment in table.all_segments():
+                segment.delete_vector.rollback_epoch(epoch)
+                segment.rollback_epoch(epoch)
+            epochs.abort(epoch)
+            raise
+        epochs.commit(epoch)
+    cluster.telemetry.gauge_add("delete_vector_rows", added)
+    cluster.telemetry.add("rows_updated", total)
+    cluster.tuple_mover.notify()
+    return total
+
+
+# -- shared plumbing ---------------------------------------------------------
+
+
+def _mutable_table(cluster: "VerticaCluster", name: str) -> "Table":
+    from repro.vertica.models import R_MODELS_TABLE_NAME
+
+    if name.lower() == R_MODELS_TABLE_NAME:
+        raise SqlAnalysisError(
+            "R_Models is maintained through deploy.model / drop_model, "
+            "not DELETE/UPDATE")
+    return cluster.catalog.get_table(name)
+
+
+def _where_columns(table: "Table", where) -> list[str]:
+    if where is None:
+        return []
+    referenced = columns_referenced(where)
+    for name in referenced:
+        if not table.has_column(name):
+            raise SqlAnalysisError(
+                f"table {table.name!r} has no column {name!r}")
+    return sorted(referenced)
+
+
+def _collect_matches(table: "Table", where, snapshot, columns: list[str],
+                     keep_batches: bool = False):
+    """Per-node matching rows at ``snapshot``.
+
+    Returns ``[(batches_or_None, rowids)]`` per node; with
+    ``keep_batches=True`` the filtered column batches ride along (the
+    UPDATE path needs the old row images for its SET expressions).
+    """
+    matched = []
+    for node in range(table.node_count):
+        rowid_chunks: list[np.ndarray] = []
+        batch_chunks: list[dict[str, np.ndarray]] = []
+        for batch in table.iter_node_batches(node, columns=list(columns),
+                                             include_rowid=True,
+                                             snapshot=snapshot):
+            if where is not None:
+                mask = np.atleast_1d(np.asarray(
+                    expressions.evaluate(where, batch), dtype=bool))
+                rows = len(batch[ROWID_COLUMN])
+                if mask.shape == (1,) and rows != 1:
+                    mask = np.broadcast_to(mask, (rows,))
+                if not mask.any():
+                    continue
+                batch = {name: arr[mask] for name, arr in batch.items()}
+            rowid_chunks.append(batch[ROWID_COLUMN])
+            if keep_batches:
+                batch_chunks.append(batch)
+        rowids = (np.concatenate(rowid_chunks) if rowid_chunks
+                  else np.empty(0, dtype=np.int64))
+        matched.append((batch_chunks if keep_batches else None, rowids))
+    return matched
+
+
+def _concat_matches(matched, columns: list[str]) -> dict[str, np.ndarray]:
+    chunks = [batch for batches, _ in matched for batch in (batches or [])]
+    return {
+        name: np.concatenate([c[name] for c in chunks])
+        for name in columns
+    }
+
+
+def _mark_deleted(table: "Table", matched, epoch: int) -> int:
+    """Record the matched rowids in the delete vectors (primary + buddy).
+
+    Returns entries added to *primary* vectors (what the
+    ``delete_vector_rows`` gauge tracks).
+    """
+    added = 0
+    for node, (_, rowids) in enumerate(matched):
+        if not len(rowids):
+            continue
+        added += table.segments[node].delete_vector.add(rowids, epoch)
+        if table.buddy_segments is not None:
+            table.buddy_segments[node].delete_vector.add(rowids, epoch)
+    return added

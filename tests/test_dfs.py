@@ -1,0 +1,94 @@
+"""DFS replica-repair tests: deletes and writes racing node failures.
+
+A failed node cannot process a delete or an overwrite, so its replicas go
+stale; ``recover_node`` must reconcile — drop orphans, drop stale versions,
+and restore files left under-replicated by writes during the outage — so
+that ``total_bytes()`` again reflects exactly ``replication`` copies of
+every live file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DfsError
+from repro.vertica.dfs import DistributedFileSystem
+
+
+@pytest.fixture
+def dfs():
+    return DistributedFileSystem(node_count=3, replication=2)
+
+
+def expected_bytes(dfs):
+    return sum(info.size * len(info.replica_nodes) for info in dfs.list_files())
+
+
+class TestDeleteWithFailedReplica:
+    def test_delete_while_replica_down_leaves_no_orphan_after_recovery(self, dfs):
+        info = dfs.write("/m/a", b"x" * 100)
+        victim = info.replica_nodes[0]
+        dfs.fail_node(victim)
+        dfs.delete("/m/a")
+        assert not dfs.exists("/m/a")
+        # The down node still physically holds its (now orphaned) replica.
+        assert dfs.total_bytes() == 100
+        dfs.recover_node(victim)
+        assert dfs.total_bytes() == 0
+        with pytest.raises(DfsError):
+            dfs.read("/m/a")
+
+    def test_overwrite_while_replica_down_drops_stale_copy(self, dfs):
+        info = dfs.write("/m/a", b"old-bytes!")
+        victim = info.replica_nodes[0]
+        dfs.fail_node(victim)
+        new = dfs.write("/m/a", b"new", overwrite=True)
+        assert victim not in new.replica_nodes
+        dfs.recover_node(victim)
+        # The stale copy is gone and reads return only the new version.
+        assert dfs.read("/m/a") == b"new"
+        assert dfs.total_bytes() == expected_bytes(dfs)
+
+    def test_recovered_node_never_serves_orphan(self, dfs):
+        info = dfs.write("/m/a", b"payload")
+        victim = info.replica_nodes[0]
+        dfs.fail_node(victim)
+        dfs.delete("/m/a")
+        dfs.recover_node(victim)
+        # Re-creating the path must not resurrect the old bytes.
+        dfs.write("/m/a", b"fresh")
+        assert dfs.read("/m/a", from_node=victim) == b"fresh"
+
+
+class TestRecoveryReReplication:
+    def test_write_during_outage_is_rereplicated_on_recovery(self, dfs):
+        dfs.fail_node(0)
+        dfs.fail_node(1)
+        info = dfs.write("/m/solo", b"z" * 40)
+        assert info.replica_nodes == (2,)
+        dfs.recover_node(0)
+        repaired = dfs.stat("/m/solo")
+        assert set(repaired.replica_nodes) == {0, 2}
+        assert dfs.total_bytes() == 80
+        # The restored copy is readable even if the original holder fails.
+        dfs.fail_node(2)
+        assert dfs.read("/m/solo") == b"z" * 40
+
+    def test_fully_replicated_files_are_untouched(self, dfs):
+        info = dfs.write("/m/a", b"stable")
+        dfs.fail_node(0)
+        dfs.recover_node(0)
+        assert dfs.stat("/m/a").replica_nodes == info.replica_nodes
+        assert dfs.total_bytes() == expected_bytes(dfs)
+
+    def test_total_bytes_reconciles_after_mixed_outage(self, dfs):
+        dfs.write("/m/a", b"a" * 10)
+        dfs.write("/m/b", b"b" * 20)
+        victim = dfs.stat("/m/a").replica_nodes[0]
+        dfs.fail_node(victim)
+        dfs.delete("/m/a")
+        dfs.write("/m/c", b"c" * 30)
+        dfs.recover_node(victim)
+        assert dfs.total_bytes() == expected_bytes(dfs)
+        for info in dfs.list_files():
+            assert len(info.replica_nodes) == dfs.replication

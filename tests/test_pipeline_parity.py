@@ -362,6 +362,112 @@ class TestPipelineConfig:
             PipelineConfig(queue_depth=0)
 
 
+class TestMutationTransferParity:
+    """Transfers and predictions over *live* MVCC state — delete vectors
+    that haven't been purged and WOS rows that haven't been moved out —
+    must be bit-for-bit identical to a fresh table pre-materialized with
+    the same surviving rows in the same order."""
+
+    DELETE_BELOW = 3_000
+
+    @staticmethod
+    def _parked_mover():
+        """Thresholds no test can hit, so WOS rows stay unflushed."""
+        from repro.vertica.txn.mover import TupleMoverConfig
+
+        return TupleMoverConfig(moveout_rows=1 << 30,
+                                moveout_age_seconds=1e9)
+
+    def _base_and_trickle(self):
+        rng = np.random.default_rng(33)
+        n = 1_200
+        base = {
+            "k": rng.integers(0, 10_000, n),
+            "c0": rng.normal(size=n),
+            "c1": rng.normal(size=n),
+            "c2": rng.normal(size=n),
+        }
+        trickles = []
+        for batch in range(3):
+            m = 7
+            trickles.append({
+                "k": rng.integers(0, 10_000, m),
+                "c0": rng.normal(size=m),
+                "c1": rng.normal(size=m),
+                "c2": rng.normal(size=m),
+            })
+        return base, trickles
+
+    def _clusters(self):
+        base, trickles = self._base_and_trickle()
+
+        mutated = VerticaCluster(node_count=NODE_COUNT,
+                                 mover=self._parked_mover())
+        mutated.create_table_like("m", base, HashSegmentation("k"))
+        mutated.bulk_load("m", base)
+        mutated.sql(f"DELETE FROM m WHERE k < {self.DELETE_BELOW}")
+        table = mutated.catalog.get_table("m")
+        for batch in trickles:
+            table.insert(batch, direct=False)
+
+        # Preconditions: the mutations really are live, not materialized.
+        assert sum(seg.wos_rows for seg in table.segments) == 21
+        assert mutated.telemetry.get("delete_vector_rows_now") > 0
+
+        keep = base["k"] >= self.DELETE_BELOW
+        survivors = {name: array[keep] for name, array in base.items()}
+        materialized = VerticaCluster(node_count=NODE_COUNT)
+        materialized.create_table_like("m", base, HashSegmentation("k"))
+        materialized.bulk_load("m", survivors)
+        for batch in trickles:
+            materialized.bulk_load("m", batch)
+        return mutated, materialized
+
+    def test_export_frames_bit_identical(self):
+        mutated, materialized = self._clusters()
+
+        def transfer(cluster):
+            with start_session(node_count=NODE_COUNT,
+                               instances_per_node=2) as session:
+                darray = db2darray(cluster, "m", ["c0", "c1", "c2"],
+                                   session, chunk_rows=256)
+                collected = darray.collect()
+                frames = session.telemetry.get("vft_frames_received")
+            return collected, frames, cluster.telemetry.snapshot()
+
+        live_data, live_frames, live_tel = transfer(mutated)
+        flat_data, flat_frames, flat_tel = transfer(materialized)
+
+        assert np.array_equal(live_data, flat_data)
+        assert live_frames == flat_frames > 0
+        assert live_tel["vft_bytes_sent"] == flat_tel["vft_bytes_sent"]
+        assert live_tel["vft_rows_sent"] == flat_tel["vft_rows_sent"]
+        # The transfer itself must not have flushed or purged anything.
+        table = mutated.catalog.get_table("m")
+        assert sum(seg.wos_rows for seg in table.segments) == 21
+        assert mutated.telemetry.get("delete_vector_rows_now") > 0
+
+    def test_prediction_udtf_parity_over_live_mutations(self):
+        from repro.algorithms import KMeansModel
+
+        mutated, materialized = self._clusters()
+        model = KMeansModel(
+            centers=np.asarray([[0.5, 0.5, 0.5], [-0.5, -0.5, -0.5]]),
+            inertia=0.0, iterations=1, converged=True,
+            n_observations=2, cluster_sizes=np.asarray([1, 1]),
+        )
+        query = ("SELECT kmeansPredict(c0, c1, c2 "
+                 "USING PARAMETERS model='km') "
+                 "OVER (PARTITION BEST) FROM m")
+        results = []
+        for cluster in (mutated, materialized):
+            deploy_model(cluster, model, "km")
+            results.append(cluster.sql(query))
+        assert_results_match(results[1], results[0])
+        assert len(results[0]) == len(
+            materialized.sql("SELECT k FROM m"))
+
+
 class TestResultSetRows:
     def test_rows_materialize_python_scalars(self):
         result = build_cluster("streaming").sql("SELECT k, a FROM pts LIMIT 3")

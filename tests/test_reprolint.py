@@ -414,6 +414,50 @@ def test_materialization_scoped_to_hot_paths():
 
 
 # ---------------------------------------------------------------------------
+# snapshot-reads
+# ---------------------------------------------------------------------------
+
+def test_snapshot_reads_flags_raw_segment_reads():
+    source = """
+        def pull(self, segment, columns):
+            groups = list(segment.iter_rowgroups(columns))
+            batches = list(segment.iter_batches(columns, None, counter))
+            whole = segment.read_columns(columns)
+            return groups, batches, whole
+    """
+    violations = check_snippet(
+        "snapshot-reads", source, relpath="src/repro/transfer/vft.py",
+    )
+    assert [v.message.split("'")[1] for v in violations] == [
+        "iter_rowgroups", "iter_batches", "read_columns",
+    ]
+    assert all("bypasses delete-vector" in v.message for v in violations)
+
+
+def test_snapshot_reads_accepts_explicit_snapshot():
+    source = """
+        def pull(self, segment, columns, snapshot):
+            for group in segment.iter_rowgroups(columns, snapshot=snapshot):
+                yield group
+            # snapshot=None documents "resolve the latest committed epoch".
+            yield segment.read_columns(columns, snapshot=None)
+    """
+    assert check_snippet(
+        "snapshot-reads", source, relpath="src/repro/vertica/executor.py",
+    ) == []
+
+
+def test_snapshot_reads_exempts_storage_and_txn_layers():
+    checker = get_checker("snapshot-reads")
+    assert not checker.applies_to("src/repro/storage/files.py")
+    assert not checker.applies_to("src/repro/vertica/txn/mover.py")
+    assert not checker.applies_to("src/repro/vertica/table.py")
+    assert checker.applies_to("src/repro/vertica/executor.py")
+    assert checker.applies_to("src/repro/transfer/vft.py")
+    assert not checker.applies_to("tests/test_vertica_engine.py")
+
+
+# ---------------------------------------------------------------------------
 # suppressions and baseline
 # ---------------------------------------------------------------------------
 

@@ -6,6 +6,7 @@ from reprolint.checkers import (  # noqa: F401
     lock_discipline,
     materialization,
     sim_determinism,
+    snapshot_reads,
     thread_hygiene,
     udf_catalog,
 )
