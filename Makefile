@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint reprolint ruff mypy race docscheck all
+.PHONY: test test-faults lint reprolint ruff mypy race docscheck all
 
 all: lint test
 
@@ -35,6 +35,11 @@ lint: reprolint ruff mypy
 # in the threaded engines fails deterministically instead of deadlocking.
 race:
 	REPROLINT_LOCK_CHECK=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# The failure-scenario matrix under the lock probe.  Set REPRO_FAULT_SEED
+# to replay a CI rotating-seed run locally.
+test-faults:
+	REPROLINT_LOCK_CHECK=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_faults.py
 
 # Execute every fenced python block in README.md and docs/*.md, so the
 # documented examples cannot drift from the code they demonstrate.

@@ -100,6 +100,26 @@ class DistributedObject:
             info.ncol = ncol
             info.nbytes = nbytes
 
+    def reassign_worker(self, dead: int, survivor: int) -> int:
+        """Move this object's partitions off a failed worker.
+
+        The contents died with the worker, so moved partitions are marked
+        unfilled; a re-executed task refills them on the survivor (writes
+        are idempotent: :meth:`_store` resolves ``info.worker_index`` at
+        write time, so the re-fill lands on the new worker).  Returns how
+        many partitions moved.
+        """
+        moved = 0
+        with self._lock:
+            for info in self.partitions:
+                if info.worker_index == dead:
+                    info.worker_index = survivor
+                    info.nrow = None
+                    info.ncol = None
+                    info.nbytes = 0
+                    moved += 1
+        return moved
+
     def get_partition(self, partition: int) -> Any:
         """Fetch one partition's contents to the caller (the master)."""
         info = self._info(partition)

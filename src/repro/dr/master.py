@@ -53,6 +53,19 @@ class Master:
             for obj in self.live_objects()
         }
 
+    def handle_worker_failure(self, dead: int, survivor: int) -> int:
+        """Reassign every live object's partitions off a dead worker.
+
+        Partition *metadata* survives on the master (§4's memory manager);
+        the contents are gone, so moved partitions come back unfilled and
+        re-executed tasks refill them on the survivor.  Returns the number
+        of partitions moved.
+        """
+        moved = 0
+        for obj in self.live_objects():
+            moved += obj.reassign_worker(dead, survivor)
+        return moved
+
     def memory_usage(self) -> dict[int, int]:
         """Bytes stored per worker, as tracked by the workers themselves."""
         session = self._session_ref()

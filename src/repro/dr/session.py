@@ -25,6 +25,7 @@ from repro.dr.dlist import DList
 from repro.dr.master import Master
 from repro.dr.worker import Worker
 from repro.errors import SessionError
+from repro.faults.plan import FaultPlan, InjectedFault
 from repro.obs.trace import Tracer
 from repro.vertica.telemetry import Telemetry
 
@@ -53,6 +54,10 @@ class DRSession:
         self.instances_per_node = instances_per_node
         self.telemetry = Telemetry()
         self.tracer = Tracer()
+        self.faults: FaultPlan | None = None
+        #: Re-executions allowed per task after a worker failure (YARN-style
+        #: worker churn tolerance: a dead worker's tasks rerun on a survivor).
+        self.task_retries = 2
         self._lock = threading.Lock()
         self._closed = False
         self._yarn = yarn
@@ -147,12 +152,40 @@ class DRSession:
         parent = self.tracer.current()
 
         def run(worker_index: int, fn: Callable, partition_index: int) -> Any:
-            slot = self._worker_slots[worker_index]
-            with slot:
-                with self.tracer.span("dr.task", parent=parent,
-                                      worker=worker_index,
-                                      partition=partition_index):
-                    return fn(partition_index)
+            attempt = 0
+            current = worker_index
+            while True:
+                try:
+                    if self.workers[current].is_down:
+                        raise SessionError(f"worker {current} is down")
+                    slot = self._worker_slots[current]
+                    with slot:
+                        with self.tracer.span("dr.task", parent=parent,
+                                              worker=current,
+                                              partition=partition_index):
+                            if self.faults is not None:
+                                self.faults.perturb("dr.task", worker=current,
+                                                    partition=partition_index)
+                            return fn(partition_index)
+                except (SessionError, InjectedFault):
+                    # The worker died (injected mid-task or detected on
+                    # dispatch).  Re-execute on a survivor: the master
+                    # reassigns the dead worker's partitions (idempotent
+                    # writes make the rerun safe), matching YARN-era worker
+                    # churn recovery.
+                    attempt += 1
+                    survivor = self._survivor_for(current)
+                    if attempt > self.task_retries or survivor is None:
+                        raise
+                    self.master.handle_worker_failure(current, survivor)
+                    self.telemetry.add("tasks_reexecuted")
+                    with self.tracer.span("fault.recovered", parent=parent,
+                                          mechanism="task_reexecution",
+                                          partition=partition_index,
+                                          dead_worker=current,
+                                          survivor=survivor):
+                        pass
+                    current = survivor
 
         futures = [
             self._pool.submit(run, worker_index, fn, partition_index)
@@ -160,6 +193,25 @@ class DRSession:
         ]
         self.telemetry.add("dr_tasks", len(futures))
         return [future.result() for future in futures]
+
+    def _survivor_for(self, dead: int) -> int | None:
+        """The next live worker after ``dead``, or None if all are down."""
+        count = len(self.workers)
+        for step in range(1, count):
+            candidate = (dead + step) % count
+            if not self.workers[candidate].is_down:
+                return candidate
+        return None
+
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """Arm a fault plan on this session (``dr.task`` injection site)."""
+        plan.bind_session(self)
+        with self._lock:
+            self.faults = plan
+
+    def clear_fault_plan(self) -> None:
+        with self._lock:
+            self.faults = None
 
     def foreach(self, indices: Sequence[int], fn: Callable,
                 worker_for: Callable[[int], int] | None = None) -> list[Any]:

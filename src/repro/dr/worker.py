@@ -71,6 +71,35 @@ class Worker:
         self._shm: dict[str, ShmBuffer] = {}
         self._lock = threading.Lock()
         self._stored_bytes = 0
+        self._down = False
+
+    # -- liveness ----------------------------------------------------------
+
+    @property
+    def is_down(self) -> bool:
+        with self._lock:
+            return self._down
+
+    def fail(self) -> None:
+        """Kill the worker: stored partitions are lost, and every storage
+        or streaming call raises :class:`SessionError` until recovery."""
+        with self._lock:
+            self._down = True
+            self._store.clear()
+            self._partition_bytes.clear()
+            self._shm.clear()
+            self._stored_bytes = 0
+
+    def recover(self) -> None:
+        """Bring the worker back (empty — its state died with it)."""
+        with self._lock:
+            self._down = False
+
+    def _check_up(self) -> None:
+        with self._lock:
+            down = self._down
+        if down:
+            raise SessionError(f"worker {self.index} is down")
 
     # -- partition storage -------------------------------------------------
 
@@ -82,6 +111,7 @@ class Worker:
         aggregate memory of the cluster" (§2) — exceeding the limit raises
         rather than swapping.
         """
+        self._check_up()
         with self._lock:
             key = (object_id, partition)
             previous = self._partition_bytes.get(key, 0)
@@ -96,6 +126,7 @@ class Worker:
             self._stored_bytes = new_total
 
     def get_partition(self, object_id: int, partition: int) -> Any:
+        self._check_up()
         with self._lock:
             try:
                 return self._store[(object_id, partition)]
@@ -135,6 +166,7 @@ class Worker:
     # -- shm staging for transfers -----------------------------------------------
 
     def open_stream(self, stream_id: str) -> ShmBuffer:
+        self._check_up()
         with self._lock:
             if stream_id in self._shm:
                 raise PartitionError(f"stream {stream_id!r} already open")
@@ -143,6 +175,7 @@ class Worker:
             return buffer
 
     def close_stream(self, stream_id: str) -> bytes:
+        self._check_up()
         with self._lock:
             try:
                 buffer = self._shm.pop(stream_id)

@@ -42,6 +42,15 @@ class ExecutionError(ReproError):
     """A query or UDF failed while executing."""
 
 
+class NodeDownError(ExecutionError):
+    """A segment is unavailable: its node (and any buddy replica) is down.
+
+    This is the *unrecoverable* flavor of node failure — retrying cannot
+    help until an operator recovers a node — so retry loops treat it as
+    fail-fast while transient transfer/execution errors are retried.
+    """
+
+
 class TransferError(ReproError):
     """A data transfer (ODBC or Vertica Fast Transfer) failed."""
 

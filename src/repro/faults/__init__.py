@@ -1,0 +1,28 @@
+"""Deterministic fault injection and retry policies for the simulated cluster.
+
+See :mod:`repro.faults.plan` for the injection-site model and
+``docs/fault_tolerance.md`` for the catalog of sites threaded through the
+engine plus a runnable chaos example.
+"""
+
+from repro.faults.plan import (
+    FaultClock,
+    FaultEvent,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    spans_named,
+)
+from repro.faults.retry import RetryPolicy
+
+__all__ = [
+    "FaultClock",
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "RetryPolicy",
+    "spans_named",
+]

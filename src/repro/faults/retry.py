@@ -1,0 +1,62 @@
+"""Retry policy: bounded exponential backoff with deterministic jitter.
+
+One :class:`RetryPolicy` instance governs both layers of VFT recovery —
+per-frame resends inside ``_FrameSender`` and whole-transfer re-attempts in
+``db2darray`` — and is safe to share across sender threads.  Jitter draws
+from a seeded ``random.Random`` so a fixed seed reproduces the exact same
+delay sequence (the property the fault test suite depends on).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RetryPolicy:
+    """Bounded-exponential retry schedule.
+
+    ``delay_for(attempt)`` (1-based) returns
+    ``min(max_delay, base_delay * 2**(attempt-1))`` shrunk by up to
+    ``jitter`` (a 0..1 fraction) using the seeded RNG.  ``send_timeout``
+    is the per-frame send deadline in seconds (``None`` disables timeout
+    detection); a send observed to exceed it is treated as a failed
+    attempt and the frame is resent.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.005
+    max_delay: float = 0.2
+    jitter: float = 0.5
+    send_timeout: float | None = None
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False, compare=False)
+    _rng_lock: threading.Lock = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_delay < 0 or self.max_delay < self.base_delay:
+            raise ValueError("need 0 <= base_delay <= max_delay")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.send_timeout is not None and self.send_timeout <= 0:
+            raise ValueError("send_timeout must be positive when set")
+        self._rng = random.Random(self.seed)
+        self._rng_lock = threading.Lock()
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff in seconds before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt is 1-based")
+        exp = min(self.max_delay, self.base_delay * (2 ** (attempt - 1)))
+        with self._rng_lock:
+            fraction = self._rng.random()
+        return exp * (1.0 - self.jitter * fraction)
+
+    def backoff(self, attempt: int) -> None:
+        """Sleep the backoff delay for retry number ``attempt``."""
+        time.sleep(self.delay_for(attempt))

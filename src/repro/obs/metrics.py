@@ -108,6 +108,9 @@ CATALOG: dict[str, InstrumentSpec] = {
         _spec("buddy_scans", "counter", "1",
               "Segment scans served by a buddy replica after node failure.",
               "repro.vertica.cluster"),
+        _spec("failovers", "counter", "1",
+              "Scans/streams failed over to a buddy replica (incl. mid-stream).",
+              "repro.vertica.cluster"),
         _spec("peak_batch_bytes", "gauge", "bytes",
               "Largest single scan batch observed (high-water mark).",
               "repro.vertica.cluster", watermark=True),
@@ -152,6 +155,12 @@ CATALOG: dict[str, InstrumentSpec] = {
         _spec("mergeout_bytes_rewritten", "counter", "bytes",
               "Encoded bytes rewritten by Tuple Mover mergeout passes.",
               "repro.vertica.txn.mover"),
+        _spec("mover_restarts", "counter", "1",
+              "Tuple Mover passes completed after an earlier crashed pass.",
+              "repro.vertica.txn.mover"),
+        _spec("dfs_read_repairs", "counter", "1",
+              "DFS reads that healed lost or corrupt replicas (read-repair).",
+              "repro.vertica.dfs"),
         _spec("current_epoch", "gauge", "1",
               "Committed epoch watermark of the cluster's epoch clock.",
               "repro.vertica.txn.epochs"),
@@ -190,6 +199,12 @@ CATALOG: dict[str, InstrumentSpec] = {
         _spec("vft_frame_bytes", "histogram", "bytes",
               "Size distribution of individual VFT wire frames.",
               "repro.transfer.vft"),
+        _spec("transfer_retries", "counter", "1",
+              "VFT retries: frame resends plus whole-transfer re-attempts.",
+              "repro.transfer.vft"),
+        _spec("vft_frames_deduped", "counter", "frames",
+              "Duplicate VFT frames skipped by resend-from-last-acked dedup.",
+              "repro.transfer.vft"),
         _spec("vft_db_seconds", "counter", "seconds",
               "Database half of VFT loads (scan/encode/stream).",
               "repro.transfer.db2darray"),
@@ -209,6 +224,16 @@ CATALOG: dict[str, InstrumentSpec] = {
         _spec("dr_repartition_bytes", "counter", "bytes",
               "Bytes moved between workers by repartition().",
               "repro.dr.darray"),
+        _spec("tasks_reexecuted", "counter", "1",
+              "DR tasks re-executed on a surviving worker after a failure.",
+              "repro.dr.session"),
+        _spec("dr_worker_failures", "counter", "1",
+              "DR workers marked dead (injected or organic).",
+              "repro.dr.worker"),
+        # -- repro.faults ------------------------------------------------------
+        _spec("faults_injected", "counter", "1",
+              "Faults fired by an armed FaultPlan (all kinds).",
+              "repro.faults.plan"),
         # -- repro.deploy ------------------------------------------------------
         _spec("models_deployed", "counter", "1",
               "Models serialized into DFS + R_Models by deploy_model.",

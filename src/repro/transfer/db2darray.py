@@ -12,7 +12,9 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.errors import TransferError
+from repro.errors import ExecutionError, NodeDownError, TransferError
+from repro.faults.plan import InjectedFault
+from repro.faults.retry import RetryPolicy
 from repro.storage.encoding import SqlType
 from repro.transfer.policies import get_policy
 from repro.transfer.vft import TransferTarget
@@ -43,6 +45,7 @@ def _run_transfer(
     chunk_rows: int | None,
     where: str | None,
     as_frame: bool,
+    retry: RetryPolicy | None = None,
 ) -> "DArray | DFrame":
     if not columns:
         raise TransferError("at least one column must be transferred")
@@ -65,48 +68,92 @@ def _run_transfer(
         instances = max(session.total_instances, 1)
         chunk_rows = int(np.clip(total_rows // instances or 1, 1_024, 262_144))
 
-    target = TransferTarget(session, policy, columns, sql_types, as_frame=as_frame)
+    retry_policy = retry if retry is not None else RetryPolicy()
+    target = TransferTarget(session, policy, columns, sql_types,
+                            as_frame=as_frame, retry=retry_policy)
     try:
-        where_clause = f" WHERE {where}" if where else ""
-        query = (
-            f"SELECT ExportToDistributedR({', '.join(columns)} "
-            f"USING PARAMETERS target='{target.token}', chunk_rows={chunk_rows}, "
-            f"policy='{policy.name}') OVER (PARTITION BEST) "
-            f"FROM {table_name}{where_clause}"
-        )
-        # The Fig 14 breakdown, measured functionally: the SQL query is the
-        # DB part (scan, decompress, re-encode, stream); finalize() is the
-        # R part (parse staged bytes, build the distributed object).  The
-        # cluster's "query" span and the finalize span both nest under one
-        # vft.transfer span, so the same breakdown shows up in trace form.
-        with session.tracer.span("vft.transfer", table=table_name,
-                                 policy=policy.name) as span:
-            db_start = time.perf_counter()
-            result = cluster.sql(query)
-            db_seconds = time.perf_counter() - db_start
-            expected = int(np.sum(result.column("rows_sent"))) if len(result) else 0
-            r_start = time.perf_counter()
-            with session.tracer.span("vft.finalize"):
-                loaded = target.finalize(cluster.node_count)
-            r_seconds = time.perf_counter() - r_start
-            span.set(rows_transferred=expected,
-                     bytes_transferred=target.bytes_streamed,
-                     db_seconds=db_seconds, r_seconds=r_seconds)
-        session.telemetry.add("vft_db_seconds", db_seconds)
-        session.telemetry.add("vft_r_seconds", r_seconds)
-        session.telemetry.record_event(
-            "vft_transfer", table=table_name, rows=expected,
-            db_seconds=db_seconds, r_seconds=r_seconds, policy=policy.name,
-        )
+        # Whole-transfer retry: one attempt = one export query + finalize.
+        # A failed attempt leaves already-staged frames in place; the next
+        # attempt's senders consult the receiver's ack cursors and resend
+        # only unstaged frames (and a crashed node's segment is re-read from
+        # its buddy replica), so the retried darray is bit-identical to a
+        # failure-free run.  NodeDownError (node *and* buddy gone) is not
+        # retryable — it propagates immediately, before any darray exists.
+        attempt = 1
+        while True:
+            try:
+                return _transfer_attempt(cluster, session, target, table_name,
+                                         policy.name, chunk_rows, where,
+                                         attempt)
+            except NodeDownError:
+                raise
+            except (TransferError, ExecutionError, InjectedFault) as exc:
+                if attempt >= retry_policy.max_attempts:
+                    raise
+                session.telemetry.add("transfer_retries")
+                with session.tracer.span(
+                    "fault.recovered", mechanism="transfer_retry",
+                    table=table_name, attempt=attempt, error=str(exc)[:120],
+                ):
+                    pass
+                retry_policy.backoff(attempt)
+                attempt += 1
+    finally:
+        target.unregister()
+
+
+def _transfer_attempt(
+    cluster: "VerticaCluster",
+    session: "DRSession",
+    target: TransferTarget,
+    table_name: str,
+    policy_name: str,
+    chunk_rows: int,
+    where: str | None,
+    attempt: int,
+) -> "DArray | DFrame":
+    """One export-query + finalize attempt against an existing target."""
+    where_clause = f" WHERE {where}" if where else ""
+    query = (
+        f"SELECT ExportToDistributedR({', '.join(target.columns)} "
+        f"USING PARAMETERS target='{target.token}', chunk_rows={chunk_rows}, "
+        f"policy='{policy_name}') OVER (PARTITION BEST) "
+        f"FROM {table_name}{where_clause}"
+    )
+    # The Fig 14 breakdown, measured functionally: the SQL query is the
+    # DB part (scan, decompress, re-encode, stream); finalize() is the
+    # R part (parse staged bytes, build the distributed object).  The
+    # cluster's "query" span and the finalize span both nest under one
+    # vft.transfer span, so the same breakdown shows up in trace form.
+    with session.tracer.span("vft.transfer", table=table_name,
+                             policy=policy_name, attempt=attempt) as span:
+        db_start = time.perf_counter()
+        result = cluster.sql(query)
+        db_seconds = time.perf_counter() - db_start
+        expected = int(np.sum(result.column("rows_sent"))) if len(result) else 0
+        # Completeness gate *before* finalize: a short transfer is retried
+        # (senders resend unacked frames) without ever building a partial
+        # darray or closing the staging streams.
         actual = target.rows_streamed
         if actual != expected:
             raise TransferError(
                 f"transfer incomplete: UDFs reported {expected} rows, "
                 f"workers received {actual}"
             )
-        return loaded
-    finally:
-        target.unregister()
+        r_start = time.perf_counter()
+        with session.tracer.span("vft.finalize"):
+            loaded = target.finalize(cluster.node_count)
+        r_seconds = time.perf_counter() - r_start
+        span.set(rows_transferred=expected,
+                 bytes_transferred=target.bytes_streamed,
+                 db_seconds=db_seconds, r_seconds=r_seconds)
+    session.telemetry.add("vft_db_seconds", db_seconds)
+    session.telemetry.add("vft_r_seconds", r_seconds)
+    session.telemetry.record_event(
+        "vft_transfer", table=table_name, rows=expected,
+        db_seconds=db_seconds, r_seconds=r_seconds, policy=policy_name,
+    )
+    return loaded
 
 
 def db2darray(
@@ -117,15 +164,18 @@ def db2darray(
     policy: str = "locality",
     chunk_rows: int | None = None,
     where: str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> "DArray":
     """Load numeric table columns into a distributed array via VFT.
 
     With ``policy="locality"`` the resulting partitions mirror the table's
     per-node segments (one partition per database node, unequal sizes);
     with ``policy="uniform"`` each worker receives an even share.
+    ``retry`` tunes failure recovery (frame resends and whole-transfer
+    re-attempts); the default policy retries up to 3 times.
     """
     return _run_transfer(cluster, table_name, columns, session, policy,
-                         chunk_rows, where, as_frame=False)
+                         chunk_rows, where, as_frame=False, retry=retry)
 
 
 def db2dframe(
@@ -136,10 +186,11 @@ def db2dframe(
     policy: str = "locality",
     chunk_rows: int | None = None,
     where: str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> "DFrame":
     """Load table columns (mixed types allowed) into a distributed frame."""
     return _run_transfer(cluster, table_name, columns, session, policy,
-                         chunk_rows, where, as_frame=True)
+                         chunk_rows, where, as_frame=True, retry=retry)
 
 
 def db2darray_with_response(
@@ -151,6 +202,7 @@ def db2darray_with_response(
     policy: str = "locality",
     chunk_rows: int | None = None,
     where: str | None = None,
+    retry: RetryPolicy | None = None,
 ) -> tuple["DArray", "DArray"]:
     """Load ``(Y, X)`` co-partitioned arrays in one transfer.
 
@@ -163,7 +215,7 @@ def db2darray_with_response(
         raise TransferError("response column cannot also be a feature")
     combined = [response_column] + list(feature_columns)
     loaded = _run_transfer(cluster, table_name, combined, session, policy,
-                           chunk_rows, where, as_frame=False)
+                           chunk_rows, where, as_frame=False, retry=retry)
 
     from repro.dr.darray import DArray
 

@@ -23,7 +23,8 @@ from repro.errors import TransferError
 from repro.storage.column import ColumnBlock
 from repro.storage.encoding import SqlType
 
-__all__ = ["encode_frame", "decode_frames", "frames_to_matrix", "frames_to_columns"]
+__all__ = ["encode_frame", "decode_frames", "validate_frame",
+           "frames_to_matrix", "frames_to_columns"]
 
 
 def encode_frame(columns: dict[str, np.ndarray], sql_types: dict[str, SqlType],
@@ -80,6 +81,36 @@ def decode_frames(payload: bytes) -> list[dict[str, np.ndarray]]:
             chunk[name] = ColumnBlock.from_bytes(block_bytes).values()
         chunks.append(chunk)
     return chunks
+
+
+def validate_frame(frame: bytes) -> None:
+    """Structurally validate that ``frame`` is exactly one intact wire frame.
+
+    Walks the length-prefixed layout without decompressing any block, so a
+    receiver can reject a torn (truncated or trailing-garbage) frame at
+    ``send_chunk`` time — before staging it — for the cost of a few struct
+    reads.  Raises :class:`TransferError` on any structural defect.
+    """
+    total = len(frame)
+    if total < 4:
+        raise TransferError(f"torn frame: {total} bytes is shorter than a frame header")
+    (column_count,) = struct.unpack_from("<I", frame, 0)
+    if column_count == 0 or column_count > 10_000:
+        raise TransferError(f"torn frame: implausible column count {column_count}")
+    offset = 4
+    for _ in range(column_count):
+        if offset + 2 > total:
+            raise TransferError("torn frame: truncated column name length")
+        (name_length,) = struct.unpack_from("<H", frame, offset)
+        offset += 2 + name_length
+        if offset + 8 > total:
+            raise TransferError("torn frame: truncated block length")
+        (block_length,) = struct.unpack_from("<Q", frame, offset)
+        offset += 8 + block_length
+        if offset > total:
+            raise TransferError("torn frame: truncated column block")
+    if offset != total:
+        raise TransferError(f"torn frame: {total - offset} trailing bytes after last block")
 
 
 def frames_to_matrix(payload: bytes, column_order: list[str]) -> np.ndarray:

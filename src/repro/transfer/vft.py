@@ -19,16 +19,23 @@ The control flow mirrors §3.1 exactly:
 from __future__ import annotations
 
 import threading
+import time
 import uuid
 from typing import TYPE_CHECKING, Any, Mapping
 
 import numpy as np
 
 from repro.errors import TransferError
+from repro.faults.retry import RetryPolicy
 from repro.obs.trace import add_to_current
 from repro.storage.encoding import ColumnSchema, SqlType
 from repro.transfer.policies import TransferPolicy
-from repro.transfer.streams import encode_frame, frames_to_columns, frames_to_matrix
+from repro.transfer.streams import (
+    encode_frame,
+    frames_to_columns,
+    frames_to_matrix,
+    validate_frame,
+)
 from repro.vertica.pipeline import concat_batches
 from repro.vertica.udtf import TransformFunction, UdtfContext
 
@@ -63,16 +70,23 @@ class TransferTarget:
         columns: list[str],
         sql_types: dict[str, SqlType],
         as_frame: bool = False,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.session = session
         self.policy = policy
         self.columns = list(columns)
         self.sql_types = dict(sql_types)
         self.as_frame = as_frame
+        self.retry = retry if retry is not None else RetryPolicy()
         self.token = uuid.uuid4().hex
         self._lock = threading.Lock()
         # (worker, db_node, instance) -> ShmBuffer
         self._streams: dict[tuple[int, int, int], "ShmBuffer"] = {}
+        # (worker, db_node, instance) -> frames staged so far on that stream.
+        # Senders number frames per stream; a frame below the acked count was
+        # already staged by an earlier attempt and is dropped as a duplicate,
+        # which is what makes a retried transfer bit-identical.
+        self._acked: dict[tuple[int, int, int], int] = {}
         self.rows_streamed = 0
         self.bytes_streamed = 0
         with _TARGETS_LOCK:
@@ -82,20 +96,44 @@ class TransferTarget:
     def worker_count(self) -> int:
         return len(self.session.workers)
 
+    def acked_frames(self, worker_index: int, db_node: int, instance: int) -> int:
+        """How many frames the stream has durably staged (the resend cursor)."""
+        with self._lock:
+            return self._acked.get((worker_index, db_node, instance), 0)
+
     def send_chunk(self, worker_index: int, db_node: int, instance: int,
-                   frame: bytes, rows: int) -> None:
-        """Deliver one wire frame into the worker's shm staging buffer."""
+                   frame: bytes, rows: int, seq: int | None = None) -> None:
+        """Deliver one wire frame into the worker's shm staging buffer.
+
+        ``seq`` is the sender's 0-based frame number on this stream.  A torn
+        frame is rejected *before* staging (the ack cursor does not move, so
+        the sender's resend carries the same ``seq``); a frame below the ack
+        cursor is a duplicate from a retried attempt and is dropped.
+        """
         if not 0 <= worker_index < self.worker_count:
             raise TransferError(f"no worker {worker_index} in transfer target")
+        validate_frame(frame)
         key = (worker_index, db_node, instance)
         with self._lock:
-            buffer = self._streams.get(key)
-            if buffer is None:
-                stream_id = f"vft/{self.token}/w{worker_index}/n{db_node}/i{instance}"
-                buffer = self.session.workers[worker_index].open_stream(stream_id)
-                self._streams[key] = buffer
-            self.rows_streamed += rows
-            self.bytes_streamed += len(frame)
+            acked = self._acked.get(key, 0)
+            if seq is not None and seq > acked:
+                raise TransferError(
+                    f"out-of-order frame {seq} on stream {key} (expected {acked})"
+                )
+            duplicate = seq is not None and seq < acked
+            if not duplicate:
+                buffer = self._streams.get(key)
+                if buffer is None:
+                    stream_id = f"vft/{self.token}/w{worker_index}/n{db_node}/i{instance}"
+                    buffer = self.session.workers[worker_index].open_stream(stream_id)
+                    self._streams[key] = buffer
+                if seq is not None:
+                    self._acked[key] = acked + 1
+                self.rows_streamed += rows
+                self.bytes_streamed += len(frame)
+        if duplicate:
+            self.session.telemetry.add("vft_frames_deduped")
+            return
         buffer.append(frame)
         self.session.telemetry.add("vft_bytes_received", len(frame))
         self.session.telemetry.add("vft_rows_received", rows)
@@ -268,13 +306,24 @@ def _target_columns(target: TransferTarget,
 
 class _FrameSender:
     """Encodes chunks as wire frames and routes them to workers, keeping the
-    per-instance frame counter both execution modes share."""
+    per-instance frame counter both execution modes share.
+
+    Frames are numbered per destination stream; on a retried transfer the
+    sender consults the receiver's ack cursor and resends only from the
+    first unacked frame, so the staged bytes come out identical to a
+    failure-free run (resend-from-last-acked).  Individual sends that fail
+    with a transport-level :class:`TransferError` (torn frame, send
+    timeout) are retried in place with bounded exponential backoff.
+    """
 
     def __init__(self, ctx: UdtfContext, target: TransferTarget) -> None:
         self.ctx = ctx
         self.target = target
         self.chunk_index = 0
         self.total_bytes = 0
+        # Per destination worker: the next frame number on this instance's
+        # stream to that worker (streams are keyed by worker+node+instance).
+        self._stream_seq: dict[int, int] = {}
 
     def emit(self, chunk: dict[str, np.ndarray], rows: int) -> None:
         ctx, target = self.ctx, self.target
@@ -282,14 +331,67 @@ class _FrameSender:
         worker = target.policy.target_worker(
             ctx.node_index, ctx.instance_index, self.chunk_index, target.worker_count
         )
-        target.send_chunk(worker, ctx.node_index, ctx.instance_index, frame, rows)
+        self.chunk_index += 1
+        seq = self._stream_seq.get(worker, 0)
+        self._stream_seq[worker] = seq + 1
+        if seq < target.acked_frames(worker, ctx.node_index, ctx.instance_index):
+            # This frame survived an earlier attempt; skip the wire entirely.
+            ctx.cluster.telemetry.add("vft_frames_deduped")
+            return
+        self._send_with_retry(worker, seq, frame, rows)
         ctx.cluster.telemetry.add("vft_bytes_sent", len(frame))
         ctx.cluster.telemetry.registry.histogram("vft_frame_bytes").observe(
             len(frame))
         # Ambient span here is this instance's udtf.instance span.
         add_to_current(vft_frames=1, vft_bytes=len(frame), vft_rows=rows)
         self.total_bytes += len(frame)
-        self.chunk_index += 1
+
+    def _send_with_retry(self, worker: int, seq: int, frame: bytes,
+                         rows: int) -> None:
+        """One frame onto the wire, retrying transport failures in place.
+
+        Only :class:`TransferError` (torn frame rejected by the receiver,
+        send exceeding the policy's timeout) is retried here — a node crash
+        surfaces as :class:`~repro.faults.plan.InjectedFault` and must
+        propagate so the whole-transfer retry in ``db2darray`` can re-read
+        the segment from a buddy replica.
+        """
+        ctx, target = self.ctx, self.target
+        policy = target.retry
+        attempt = 0
+        while True:
+            wire = frame
+            started = time.perf_counter()
+            try:
+                faults = ctx.cluster.faults
+                if faults is not None:
+                    perturbed = faults.perturb(
+                        "vft.send_chunk", data=wire, node=ctx.node_index,
+                        instance=ctx.instance_index, worker=worker, seq=seq,
+                        attempt=attempt,
+                    )
+                    wire = perturbed if perturbed is not None else wire
+                target.send_chunk(worker, ctx.node_index, ctx.instance_index,
+                                  wire, rows, seq=seq)
+                elapsed = time.perf_counter() - started
+                if (policy.send_timeout is not None
+                        and elapsed > policy.send_timeout):
+                    raise TransferError(
+                        f"send of frame {seq} to worker {worker} took "
+                        f"{elapsed:.3f}s (timeout {policy.send_timeout}s)"
+                    )
+                return
+            except TransferError as exc:
+                attempt += 1
+                if attempt >= policy.max_attempts:
+                    raise
+                ctx.cluster.telemetry.add("transfer_retries")
+                with ctx.cluster.tracer.span(
+                    "fault.recovered", mechanism="frame_resend", seq=seq,
+                    worker=worker, attempt=attempt, error=str(exc)[:120],
+                ):
+                    pass
+                policy.backoff(attempt)
 
     def summary(self, rows: int) -> dict[str, np.ndarray]:
         ctx = self.ctx

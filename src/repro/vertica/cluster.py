@@ -15,7 +15,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.errors import CatalogError, ExecutionError, SqlAnalysisError
+from repro.errors import CatalogError, NodeDownError, SqlAnalysisError
+from repro.faults.plan import FaultPlan, InjectedFault
 from repro.obs.trace import Tracer, add_to_current, max_to_current
 from repro.storage.encoding import ColumnSchema, SqlType
 from repro.vertica.catalog import Catalog
@@ -68,6 +69,11 @@ class VerticaCluster:
         self.r_models = RModelsCatalog()
         self.telemetry = Telemetry()
         self.tracer = Tracer()
+        self.faults: FaultPlan | None = None
+        # Let the DFS report read-repairs through the cluster's telemetry
+        # and tracer (it predates both in the constructor order).
+        self.dfs.telemetry = self.telemetry
+        self.dfs.tracer = self.tracer
         self.executor_threads = executor_threads or max(4, node_count)
         self.pipeline = pipeline or PipelineConfig()
         self.catalog.epochs.on_advance = (
@@ -205,6 +211,19 @@ class VerticaCluster:
 
     # -- node failure / failover --------------------------------------------------
 
+    def install_fault_plan(self, plan: FaultPlan) -> None:
+        """Arm a fault plan: injection sites in scans, the VFT sender, UDTF
+        instances, the Tuple Mover, and the DFS consult it from now on."""
+        plan.bind_cluster(self)
+        with self._lock:
+            self.faults = plan
+        self.dfs.faults = plan
+
+    def clear_fault_plan(self) -> None:
+        with self._lock:
+            self.faults = None
+        self.dfs.faults = None
+
     def fail_node(self, node: int) -> None:
         """Take a database node down (its DFS replicas go with it)."""
         self.nodes[node].fail()
@@ -213,6 +232,32 @@ class VerticaCluster:
     def recover_node(self, node: int) -> None:
         self.nodes[node].recover()
         self.dfs.recover_node(node)
+
+    def _buddy_for(self, table: Table, node_index: int) -> int:
+        """The live buddy node for a down node's segment, or a clean
+        :class:`NodeDownError` — never a hang, never a partial result."""
+        buddy = table.buddy_host(node_index)
+        if buddy is None:
+            raise NodeDownError(
+                f"node {node_index} is down and table {table.name!r} has no "
+                "buddy projections (create it with k_safety=1)"
+            )
+        if self.nodes[buddy].is_down:
+            raise NodeDownError(
+                f"node {node_index} and its buddy {buddy} are both down; "
+                f"segment of {table.name!r} is unavailable"
+            )
+        return buddy
+
+    def _record_failover(self, table: Table, node_index: int, buddy: int,
+                         resumed_after: int = 0) -> None:
+        self.telemetry.add("buddy_scans")
+        self.telemetry.add("failovers")
+        with self.tracer.span(
+            "fault.recovered", mechanism="buddy_failover", table=table.name,
+            node=node_index, buddy=buddy, resumed_after_batches=resumed_after,
+        ):
+            pass
 
     def scan_node_with_failover(
         self, table: Table, node_index: int, columns: list[str],
@@ -225,6 +270,15 @@ class VerticaCluster:
         if snapshot is None:
             snapshot = table.resolve_snapshot()
         node = self.nodes[node_index]
+        if not node.is_down and self.faults is not None:
+            try:
+                self.faults.perturb("scan.node", table=table.name,
+                                    node=node_index)
+            except InjectedFault:
+                if not node.is_down:
+                    # Not a crash of this node (e.g. a plain error fault):
+                    # there is nothing to fail over to, surface it.
+                    raise
         if not node.is_down:
             node.acquire_scan_slot()
             try:
@@ -235,19 +289,9 @@ class VerticaCluster:
                                        snapshot=snapshot)
             finally:
                 node.release_scan_slot()
-        buddy = table.buddy_host(node_index)
-        if buddy is None:
-            raise ExecutionError(
-                f"node {node_index} is down and table {table.name!r} has no "
-                "buddy projections (create it with k_safety=1)"
-            )
+        buddy = self._buddy_for(table, node_index)
+        self._record_failover(table, node_index, buddy)
         buddy_node = self.nodes[buddy]
-        if buddy_node.is_down:
-            raise ExecutionError(
-                f"node {node_index} and its buddy {buddy} are both down; "
-                f"segment of {table.name!r} is unavailable"
-            )
-        self.telemetry.add("buddy_scans")
         buddy_node.acquire_scan_slot()
         try:
             return table.scan_node_replica(node_index, columns,
@@ -344,39 +388,57 @@ class VerticaCluster:
     ):
         """Stream a node's segment rowgroup-wise, holding the node's scan
         slot for the duration of the stream; falls over to the buddy
-        replica when the node is down (requires ``k_safety=1``)."""
+        replica when the node is down (requires ``k_safety=1``).
+
+        Failover also works *mid-stream*: if the node dies after N batches,
+        the stream resumes from the buddy's replica at the same snapshot,
+        skipping the N batches already delivered.  Replica segments store
+        identical rowgroups, so the stitched stream is bit-identical to an
+        uninterrupted primary scan.
+        """
         prune_counter = lambda n: self.telemetry.add("rowgroups_pruned", n)
         if snapshot is None:
             snapshot = table.resolve_snapshot()
         node = self.nodes[node_index]
+        delivered = 0
         if not node.is_down:
             node.acquire_scan_slot()
+            died_mid_stream = False
             try:
-                yield from table.iter_node_batches(
-                    node_index, columns, ranges=ranges,
-                    prune_counter=prune_counter, snapshot=snapshot)
+                for batch in table.iter_node_batches(
+                        node_index, columns, ranges=ranges,
+                        prune_counter=prune_counter, snapshot=snapshot):
+                    try:
+                        if self.faults is not None:
+                            self.faults.perturb("scan.stream", table=table.name,
+                                                node=node_index, batch=delivered)
+                    except InjectedFault:
+                        if not node.is_down:
+                            raise
+                    if node.is_down:
+                        # The node died under us (injected here or failed by
+                        # another thread); stop reading its storage and
+                        # resume from the buddy below.
+                        died_mid_stream = True
+                        break
+                    yield batch
+                    delivered += 1
             finally:
                 node.release_scan_slot()
-            return
-        buddy = table.buddy_host(node_index)
-        if buddy is None:
-            raise ExecutionError(
-                f"node {node_index} is down and table {table.name!r} has no "
-                "buddy projections (create it with k_safety=1)"
-            )
+            if not died_mid_stream:
+                return
+        buddy = self._buddy_for(table, node_index)
+        self._record_failover(table, node_index, buddy, resumed_after=delivered)
         buddy_node = self.nodes[buddy]
-        if buddy_node.is_down:
-            raise ExecutionError(
-                f"node {node_index} and its buddy {buddy} are both down; "
-                f"segment of {table.name!r} is unavailable"
-            )
-        self.telemetry.add("buddy_scans")
         buddy_node.acquire_scan_slot()
         try:
-            yield from table.iter_node_batches(
-                node_index, columns, ranges=ranges,
-                prune_counter=prune_counter, replica=True,
-                snapshot=snapshot)
+            for index, batch in enumerate(table.iter_node_batches(
+                    node_index, columns, ranges=ranges,
+                    prune_counter=prune_counter, replica=True,
+                    snapshot=snapshot)):
+                if index < delivered:
+                    continue
+                yield batch
         finally:
             buddy_node.release_scan_slot()
 

@@ -14,8 +14,14 @@ from __future__ import annotations
 import threading
 import zlib
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.errors import DfsError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.faults.plan import FaultPlan
+    from repro.obs.trace import Tracer
+    from repro.vertica.telemetry import Telemetry
 
 __all__ = ["DistributedFileSystem", "DfsFileInfo"]
 
@@ -48,6 +54,11 @@ class DistributedFileSystem:
         self._meta: dict[str, DfsFileInfo] = {}
         self._down: set[int] = set()
         self._placement_cursor = 0
+        # Wired up by the owning cluster so read-repair events surface
+        # through the shared observability pipeline (None standalone).
+        self.telemetry: "Telemetry | None" = None
+        self.tracer: "Tracer | None" = None
+        self.faults: "FaultPlan | None" = None
 
     # -- failure injection -------------------------------------------------
 
@@ -95,6 +106,21 @@ class DistributedFileSystem:
                     blobs[path] = data
                     info.replica_nodes = info.replica_nodes + (node,)
                     break
+
+    def lose_replica(self, path: str, node: int | None = None) -> int:
+        """Drop one replica's bytes (the node stays up) — a lost/evicted
+        blob, as injected by :data:`FaultKind.BLOB_LOSS`.  Returns the node
+        that lost its copy; the next :meth:`read` heals it by read-repair.
+        """
+        with self._lock:
+            info = self._meta.get(path)
+            if info is None:
+                raise DfsError(f"DFS file not found: {path!r}")
+            candidates = (node,) if node is not None else info.replica_nodes
+            for candidate in candidates:
+                if self._blobs[candidate].pop(path, None) is not None:
+                    return candidate
+        raise DfsError(f"no replica of {path!r} holds bytes to lose")
 
     def _check_node(self, node: int) -> None:
         if not 0 <= node < self.node_count:
@@ -146,7 +172,20 @@ class DistributedFileSystem:
         return [live[(start + i) % len(live)] for i in range(count)]
 
     def read(self, path: str, from_node: int | None = None) -> bytes:
-        """Read a file, transparently falling over to a live replica."""
+        """Read a file, transparently falling over to a live replica.
+
+        A read that touches a degraded replica set — a down node, a lost
+        blob, or a checksum-corrupt copy — triggers *read-repair*: the
+        first intact copy found is rewritten onto every reachable replica
+        node and, if the file is still under-replicated, onto fresh live
+        nodes.  Repairs count ``dfs_read_repairs`` and emit a
+        ``fault.recovered`` span when the cluster has wired telemetry in.
+        """
+        faults = self.faults
+        if faults is not None:
+            # Before _lock: a BLOB_LOSS effect re-enters the DFS.
+            faults.perturb("dfs.read", path=path)
+        restored = 0
         with self._lock:
             info = self._meta.get(path)
             if info is None:
@@ -156,18 +195,73 @@ class DistributedFileSystem:
                 # Prefer the local replica when the caller runs on that node.
                 candidates.remove(from_node)
                 candidates.insert(0, from_node)
+            data = None
+            degraded = False
+            corrupt = False
             for node in candidates:
                 if node in self._down:
+                    degraded = True
                     continue
-                data = self._blobs[node].get(path)
-                if data is None:
+                blob = self._blobs[node].get(path)
+                if blob is None:
+                    degraded = True
                     continue
-                if zlib.crc32(data) != info.checksum:
-                    raise DfsError(f"checksum mismatch reading {path!r} from node {node}")
-                return data
-        raise DfsError(
-            f"all replicas of {path!r} are on failed nodes {info.replica_nodes}"
-        )
+                if zlib.crc32(blob) != info.checksum:
+                    degraded = True
+                    corrupt = True
+                    continue
+                data = blob
+                break
+            if data is None:
+                if corrupt:
+                    raise DfsError(
+                        f"checksum mismatch reading {path!r}: no intact replica"
+                    )
+                raise DfsError(
+                    f"all replicas of {path!r} are on failed nodes "
+                    f"{info.replica_nodes}"
+                )
+            if degraded:
+                restored = self._read_repair_locked(path, info, data)
+        if restored:
+            if self.telemetry is not None:
+                self.telemetry.add("dfs_read_repairs")
+            if self.tracer is not None:
+                with self.tracer.span("fault.recovered",
+                                      mechanism="read_repair",
+                                      path=path, restored=restored):
+                    pass
+        return data
+
+    def _read_repair_locked(self, path: str, info: DfsFileInfo,
+                            data: bytes) -> int:
+        """Heal a degraded replica set from one intact copy.
+
+        Lost or corrupt copies on live replica nodes are rewritten in
+        place; if down nodes leave the file with fewer than ``replication``
+        reachable copies, fresh live nodes are recruited.  Caller holds
+        ``_lock``.  Returns the number of copies restored.
+        """
+        restored = 0
+        live_good = 0
+        for node in info.replica_nodes:
+            if node in self._down:
+                continue
+            blob = self._blobs[node].get(path)
+            if blob is None or zlib.crc32(blob) != info.checksum:
+                self._blobs[node][path] = data
+                restored += 1
+            live_good += 1
+        if live_good < self.replication:
+            fresh = [
+                n for n in range(self.node_count)
+                if n not in self._down and n not in info.replica_nodes
+            ]
+            for node in fresh[:self.replication - live_good]:
+                self._blobs[node][path] = data
+                info.replica_nodes = info.replica_nodes + (node,)
+                restored += 1
+        return restored
 
     def stat(self, path: str) -> DfsFileInfo:
         with self._lock:

@@ -661,6 +661,9 @@ class QueryExecutor:
             )
             with tracer.span("udtf.instance", parent=parent, node=node,
                              instance=index) as span:
+                if self.cluster.faults is not None:
+                    self.cluster.faults.perturb("udtf.instance", node=node,
+                                                instance=index)
                 output = udtf.process(ctx, args, dict(plan.udtf.parameters))
                 udtf.validate_output(output)
                 span.set(rows_in=_batch_rows(args),
@@ -713,7 +716,8 @@ class QueryExecutor:
                 rowgroups = cluster.node_rowgroup_count(plan.table, node)
                 nominal = cluster.nodes[node].best_udtf_parallelism(rowgroups)
                 boundaries = instance_boundaries(segment_rows[node], nominal)
-            queues = [BatchQueue(config.queue_depth, cluster.telemetry, abort)
+            queues = [BatchQueue(config.queue_depth, cluster.telemetry, abort,
+                                 stall_timeout=config.stall_timeout_seconds)
                       for _ in range(len(boundaries) - 1)]
             node_plans.append((node, boundaries, queues))
             slots.extend((node, queue) for queue in queues)
@@ -788,6 +792,9 @@ class QueryExecutor:
             try:
                 with tracer.span("udtf.instance", parent=parent, node=node,
                                  instance=index) as span:
+                    if cluster.faults is not None:
+                        cluster.faults.perturb("udtf.instance", node=node,
+                                               instance=index)
                     stream = iter(queue)
                     try:
                         first = next(stream)
@@ -848,7 +855,8 @@ class QueryExecutor:
         sources = self._node_sources(plan, plan.columns_needed, snapshot)
         abort = threading.Event()
         queues = {
-            (instance, node): BatchQueue(config.queue_depth, telemetry, abort)
+            (instance, node): BatchQueue(config.queue_depth, telemetry, abort,
+                                         stall_timeout=config.stall_timeout_seconds)
             for instance in range(node_count)
             for node in range(len(sources))
         }

@@ -73,6 +73,10 @@ class PipelineConfig:
     mode: str = "streaming"
     batch_rows: int = 8_192
     queue_depth: int = 4
+    #: Seconds a producer/consumer may stay blocked on a batch queue before
+    #: the wait is declared a stall and raised as a clean ExecutionError
+    #: instead of hanging the query.  ``None`` (default) disables the check.
+    stall_timeout_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("streaming", "eager"):
@@ -83,6 +87,10 @@ class PipelineConfig:
             raise ExecutionError(f"batch_rows must be positive, got {self.batch_rows}")
         if self.queue_depth < 1:
             raise ExecutionError(f"queue_depth must be positive, got {self.queue_depth}")
+        if self.stall_timeout_seconds is not None and self.stall_timeout_seconds <= 0:
+            raise ExecutionError(
+                f"stall_timeout_seconds must be positive, got {self.stall_timeout_seconds}"
+            )
 
     @property
     def streaming(self) -> bool:
@@ -177,12 +185,14 @@ class BatchQueue:
     """
 
     def __init__(self, maxdepth: int, telemetry: "Telemetry | None" = None,
-                 abort: threading.Event | None = None) -> None:
+                 abort: threading.Event | None = None,
+                 stall_timeout: float | None = None) -> None:
         if maxdepth < 1:
             raise ExecutionError(f"queue depth must be positive, got {maxdepth}")
         self.maxdepth = maxdepth
         self.telemetry = telemetry
         self.abort = abort or threading.Event()
+        self.stall_timeout = stall_timeout
         self._items: deque = deque()
         self._lock = threading.Lock()
         self._not_full = threading.Condition(self._lock)
@@ -214,6 +224,16 @@ class BatchQueue:
                 while (len(self._items) >= self.maxdepth
                         and not self.abort.is_set()):
                     self._not_full.wait(timeout=0.05)
+                    if (self.stall_timeout is not None
+                            and len(self._items) >= self.maxdepth
+                            and not self.abort.is_set()
+                            and time.perf_counter() - wait_start
+                            > self.stall_timeout):
+                        raise ExecutionError(
+                            "pipeline stalled: producer blocked "
+                            f"{time.perf_counter() - wait_start:.2f}s on a "
+                            f"full queue (stall timeout {self.stall_timeout}s)"
+                        )
                 blocked = time.perf_counter() - wait_start
             if self.abort.is_set():
                 raise PipelineCancelled("pipeline aborted while enqueueing")
@@ -251,9 +271,22 @@ class BatchQueue:
     def __iter__(self) -> Iterator[dict[str, np.ndarray]]:
         while True:
             with self._not_empty:
+                wait_start = None
                 while not self._items and not self._closed \
                         and not self.abort.is_set():
+                    if wait_start is None:
+                        wait_start = time.perf_counter()
                     self._not_empty.wait(timeout=0.05)
+                    if (self.stall_timeout is not None
+                            and not self._items and not self._closed
+                            and not self.abort.is_set()
+                            and time.perf_counter() - wait_start
+                            > self.stall_timeout):
+                        raise ExecutionError(
+                            "pipeline stalled: consumer waited "
+                            f"{time.perf_counter() - wait_start:.2f}s for a "
+                            f"batch (stall timeout {self.stall_timeout}s)"
+                        )
                 if self.abort.is_set() and not self._items:
                     raise PipelineCancelled("pipeline aborted while dequeueing")
                 if self._items:

@@ -23,6 +23,8 @@ import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.errors import ReproError
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.vertica.cluster import VerticaCluster
 
@@ -54,6 +56,7 @@ class TupleMover:
         self._stop = threading.Event()
         self._thread: threading.Thread | None = None
         self._wos_first_seen: dict[int, float] = {}  # id(segment) -> time
+        self._interrupted = False  # a pass died mid-flight (injected crash)
         self.moveout_passes = 0
         self.mergeout_passes = 0
 
@@ -87,8 +90,16 @@ class TupleMover:
             self._wake.clear()
             if self._stop.is_set():
                 return
-            moved = self.run_moveout(thresholds=True)
-            merged, _ = self.run_mergeout()
+            try:
+                moved = self.run_moveout(thresholds=True)
+                merged, _ = self.run_mergeout()
+            except ReproError:
+                # An injected crash killed this pass.  Segment moveout and
+                # mergeout are atomic (new storage is built off to the side
+                # and spliced in under the segment lock), so the pass can
+                # simply be re-run: the daemon survives and the next cycle
+                # picks up from the last completed splice.
+                moved = merged = 0
             if moved or merged:
                 idle = 0
             else:
@@ -114,28 +125,54 @@ class TupleMover:
         ahm = epochs.ancient_history_mark
         total = 0
         with self._pass_lock:
-            for table in self.cluster.catalog.tables():
-                for segment in table.all_segments():
-                    wos_rows = segment.wos_rows
-                    if wos_rows == 0:
-                        self._wos_first_seen.pop(id(segment), None)
-                        continue
-                    if thresholds and not self._due(segment, wos_rows):
-                        continue
-                    with self.cluster.tracer.span(
-                            "txn.moveout", table=table.name,
-                            node=segment.node_index):
-                        moved = segment.moveout(committed, ahm=ahm)
-                    if moved:
-                        self._wos_first_seen.pop(id(segment), None)
-                        total += moved
-                        # Gauges track primary copies; buddy WOS mirrors move
-                        # in the same pass but are not double-counted.
-                        if segment in table.segments:
-                            self.cluster.telemetry.gauge_add("wos_rows", -moved)
+            try:
+                for table in self.cluster.catalog.tables():
+                    for segment in table.all_segments():
+                        wos_rows = segment.wos_rows
+                        if wos_rows == 0:
+                            self._wos_first_seen.pop(id(segment), None)
+                            continue
+                        if thresholds and not self._due(segment, wos_rows):
+                            continue
+                        faults = self.cluster.faults
+                        if faults is not None:
+                            faults.perturb("txn.moveout", table=table.name,
+                                           node=segment.node_index)
+                        with self.cluster.tracer.span(
+                                "txn.moveout", table=table.name,
+                                node=segment.node_index):
+                            moved = segment.moveout(committed, ahm=ahm)
+                        if moved:
+                            self._wos_first_seen.pop(id(segment), None)
+                            total += moved
+                            # Gauges track primary copies; buddy WOS mirrors
+                            # move in the same pass but aren't double-counted.
+                            if segment in table.segments:
+                                self.cluster.telemetry.gauge_add(
+                                    "wos_rows", -moved)
+            except ReproError:
+                # The pass died between segment splices.  Already-flushed
+                # segments keep their new ROS; untouched segments keep their
+                # WOS — scans see either state bit-identically.  The next
+                # pass (background cycle or direct call) finishes the job.
+                self._interrupted = True
+                raise
+            self._mark_recovered_locked("moveout")
             if total:
                 self.moveout_passes += 1
         return total
+
+    def _mark_recovered_locked(self, operation: str) -> None:
+        """A pass ran to completion; if a prior one was killed, record the
+        recovery (called with ``_pass_lock`` held)."""
+        if not self._interrupted:
+            return
+        self._interrupted = False
+        self.cluster.telemetry.add("mover_restarts")
+        with self.cluster.tracer.span("fault.recovered",
+                                      mechanism="mover_restart",
+                                      operation=operation):
+            pass
 
     def _due(self, segment, wos_rows: int) -> bool:
         if wos_rows >= self.config.moveout_rows:
@@ -155,25 +192,37 @@ class TupleMover:
         total_bytes = 0
         total_purged = 0
         with self._pass_lock:
-            for table in self.cluster.catalog.tables():
-                for segment in table.all_segments():
-                    if not segment.has_mergeout_work(
-                            ahm, small_rows=self.config.mergeout_small_rows,
-                            min_run=self.config.mergeout_min_run):
-                        continue
-                    with self.cluster.tracer.span(
-                            "txn.mergeout", table=table.name,
-                            node=segment.node_index):
-                        nbytes, purged = segment.mergeout(
-                            ahm,
-                            small_rows=self.config.mergeout_small_rows,
-                            min_run=self.config.mergeout_min_run,
-                        )
-                    total_bytes += nbytes
-                    total_purged += purged
-                    if purged and segment in table.segments:
-                        self.cluster.telemetry.gauge_add(
-                            "delete_vector_rows", -purged)
+            try:
+                for table in self.cluster.catalog.tables():
+                    for segment in table.all_segments():
+                        if not segment.has_mergeout_work(
+                                ahm, small_rows=self.config.mergeout_small_rows,
+                                min_run=self.config.mergeout_min_run):
+                            continue
+                        faults = self.cluster.faults
+                        if faults is not None:
+                            faults.perturb("txn.mergeout", table=table.name,
+                                           node=segment.node_index)
+                        with self.cluster.tracer.span(
+                                "txn.mergeout", table=table.name,
+                                node=segment.node_index):
+                            nbytes, purged = segment.mergeout(
+                                ahm,
+                                small_rows=self.config.mergeout_small_rows,
+                                min_run=self.config.mergeout_min_run,
+                            )
+                        total_bytes += nbytes
+                        total_purged += purged
+                        if purged and segment in table.segments:
+                            self.cluster.telemetry.gauge_add(
+                                "delete_vector_rows", -purged)
+            except ReproError:
+                # Same crash-safety argument as moveout: mergeout splices
+                # rewritten rowgroups atomically per segment, so a killed
+                # pass leaves every segment readable and re-runnable.
+                self._interrupted = True
+                raise
+            self._mark_recovered_locked("mergeout")
             if total_bytes:
                 self.cluster.telemetry.add(
                     "mergeout_bytes_rewritten", total_bytes)
