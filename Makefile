@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-faults lint reprolint ruff mypy race docscheck all
+.PHONY: test test-faults lint lint-sql reprolint ruff mypy race docscheck all
 
 all: lint test
 
@@ -24,12 +24,18 @@ ruff:
 
 mypy:
 	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
-		$(PYTHON) -m mypy src/repro/dr src/repro/transfer; \
+		$(PYTHON) -m mypy src/repro/dr src/repro/transfer \
+			src/repro/vertica/sql src/repro/obs; \
 	else \
 		echo "mypy not installed; skipping (pip install -e '.[lint]')"; \
 	fi
 
-lint: reprolint ruff mypy
+# Run the SQL semantic analyzer (schema-less lenient mode) over every SQL
+# string literal in tests/ and examples/: zero analysis errors allowed.
+lint-sql:
+	PYTHONPATH=src $(PYTHON) tools/sql_lint.py
+
+lint: reprolint ruff mypy lint-sql
 
 # Run the whole suite under instrumented locks: any lock-order inversion
 # in the threaded engines fails deterministically instead of deadlocking.

@@ -21,7 +21,7 @@ from repro.deploy.deploy import load_model
 from repro.errors import ExecutionError, ModelError
 from repro.obs.trace import add_to_current
 from repro.storage.encoding import ColumnSchema, SqlType
-from repro.vertica.udtf import TransformFunction, UdtfContext
+from repro.vertica.udtf import TransformFunction, UdtfContext, UdtfSignature
 
 __all__ = [
     "GlmPredict",
@@ -45,6 +45,16 @@ class _PredictBase(TransformFunction):
     expected_model_type = ""
     output_column = "prediction"
     output_sql_type = SqlType.FLOAT
+
+    def signature(self) -> UdtfSignature:
+        # At least one numeric feature column; 'model' must name a deployed
+        # model.  Extra parameters (e.g. glmPredict's type=) stay open-ended.
+        return UdtfSignature(
+            min_args=1,
+            numeric_args=True,
+            required_parameters=frozenset({"model"}),
+            model_parameter="model",
+        )
 
     def output_schema(self, params: Mapping[str, Any]) -> list[ColumnSchema]:
         return [ColumnSchema(self.output_column, self.output_sql_type)]

@@ -38,8 +38,44 @@ class SqlAnalysisError(SqlError):
     """The SQL parsed but references unknown columns, tables, or functions."""
 
 
+class SemanticError(SqlAnalysisError):
+    """A statement was rejected by the static semantic analyzer.
+
+    Carries the full :class:`repro.vertica.sql.analyzer.Diagnostic` list that
+    the analysis pass produced (errors *and* warnings) plus the position of
+    the first error, so callers can render `SAxxx` codes with source offsets.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = (),
+                 position: int | None = None) -> None:
+        self.diagnostics = tuple(diagnostics)
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class SemanticResolutionError(SemanticError, CatalogError):
+    """A semantic diagnostic about a *missing catalog object*.
+
+    Raised when analysis fails because a table, transform function, or model
+    does not exist.  Inherits :class:`CatalogError` so callers that predate
+    the analyzer and catch catalog lookups keep working unchanged.
+    """
+
+
 class ExecutionError(ReproError):
     """A query or UDF failed while executing."""
+
+
+class SemanticParameterError(SemanticError, ExecutionError):
+    """A semantic diagnostic about a UDTF's calling convention.
+
+    Raised when a transform function call has the wrong argument count or
+    types, or a missing/unknown ``USING PARAMETERS`` entry.  Inherits
+    :class:`ExecutionError` because these failures historically surfaced
+    while the function executed; callers catching that class keep working.
+    """
 
 
 class NodeDownError(ExecutionError):

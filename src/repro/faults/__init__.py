@@ -15,8 +15,10 @@ from repro.faults.plan import (
     spans_named,
 )
 from repro.faults.retry import RetryPolicy
+from repro.faults.sites import FAULT_SITES, is_registered_site
 
 __all__ = [
+    "FAULT_SITES",
     "FaultClock",
     "FaultEvent",
     "FaultKind",
@@ -24,5 +26,6 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "RetryPolicy",
+    "is_registered_site",
     "spans_named",
 ]

@@ -35,7 +35,33 @@ import weakref
 from typing import Any, Iterator
 
 __all__ = ["Span", "Tracer", "current_span", "add_to_current",
-           "max_to_current", "all_tracers"]
+           "max_to_current", "all_tracers", "SPAN_TAXONOMY"]
+
+#: Every span name the engines open, with its meaning.  This is the span
+#: taxonomy documented in ``docs/observability.md``; the ``registry-drift``
+#: reprolint rule (RL903) holds every ``tracer.span("...")`` literal in the
+#: source tree to this set, so a renamed or ad-hoc span name fails lint
+#: instead of silently fragmenting traces.
+SPAN_TAXONOMY: dict[str, str] = {
+    "query": "one SQL statement, opened by VerticaCluster.sql",
+    "scan": "scan-shaped SELECT (executor operator root)",
+    "aggregate": "two-phase aggregate SELECT (executor operator root)",
+    "join": "hash-join SELECT (executor operator root)",
+    "udtf": "transform-function SELECT (executor operator root)",
+    "scan.node": "one node's scan of its segment (eager or streaming)",
+    "aggregate.node": "one node's partial-aggregate fold",
+    "udtf.producer": "streaming UDTF scan side, one per node",
+    "udtf.instance": "one transform-function instance",
+    "vft.transfer": "one VFT transfer (db2darray / db2dframe)",
+    "vft.finalize": "VFT assembly of received chunks into the dobject",
+    "txn.moveout": "one Tuple Mover moveout pass over a segment's WOS",
+    "txn.mergeout": "one Tuple Mover mergeout pass over a segment's ROS",
+    "dr.task": "one Distributed R foreach task",
+    "yarn.allocate": "DR session container allocation",
+    "yarn.release": "DR session container release",
+    "fault.injected": "a FaultPlan spec fired at an injection site",
+    "fault.recovered": "a recovery layer absorbed an injected fault",
+}
 
 _span_ids = itertools.count(1)
 

@@ -37,7 +37,7 @@ from repro.transfer.streams import (
     validate_frame,
 )
 from repro.vertica.pipeline import concat_batches
-from repro.vertica.udtf import TransformFunction, UdtfContext
+from repro.vertica.udtf import TransformFunction, UdtfContext, UdtfSignature
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.dr.darray import DArray
@@ -219,6 +219,15 @@ class ExportToDistributedR(TransformFunction):
     """
 
     name = "ExportToDistributedR"
+
+    def signature(self) -> UdtfSignature:
+        # At least one exported column; 'target' must carry a registered
+        # transfer-target token.  Columns of any SQL type can be exported.
+        return UdtfSignature(
+            min_args=1,
+            required_parameters=frozenset({"target"}),
+            known_parameters=frozenset({"target", "chunk_rows", "policy"}),
+        )
 
     def output_schema(self, params: Mapping[str, object]) -> list[ColumnSchema]:
         return [

@@ -11,11 +11,12 @@ import threading
 from typing import TYPE_CHECKING
 
 from repro.errors import CatalogError
+from repro.storage.encoding import SqlType
 from repro.vertica.txn.epochs import EpochClock
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.vertica.table import Table
-    from repro.vertica.udtf import TransformFunction
+    from repro.vertica.udtf import TransformFunction, UdtfSignature
 
 __all__ = ["Catalog"]
 
@@ -62,6 +63,11 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist")
         return existed
 
+    def table_types(self, name: str) -> dict[str, SqlType]:
+        """Column name → SQL type for a registered table (analyzer binding)."""
+        table = self.get_table(name)
+        return {column.name: column.sql_type for column in table.user_schema}
+
     def table_names(self) -> list[str]:
         with self._lock:
             return sorted(t.name for t in self._tables.values())
@@ -92,6 +98,10 @@ class Catalog:
     def has_udtf(self, name: str) -> bool:
         with self._lock:
             return name.lower() in self._udtfs
+
+    def udtf_signature(self, name: str) -> "UdtfSignature":
+        """Declared calling convention of a registered transform function."""
+        return self.get_udtf(name).signature()
 
     def udtf_names(self) -> list[str]:
         with self._lock:

@@ -40,6 +40,7 @@ from repro.vertica.planner import (
 )
 from repro.vertica.segmentation import hash64
 from repro.vertica.sql import ast
+from repro.vertica.sql.analyzer import ClusterProvider, ResolvedQuery, check
 from repro.vertica.txn.mutations import execute_delete, execute_update
 from repro.vertica.udtf import UdtfContext
 
@@ -107,10 +108,11 @@ class QueryExecutor:
     # -- statement dispatch ---------------------------------------------------
 
     def execute(self, stmt: ast.Statement, user: str = "dbadmin") -> ResultSet:
+        resolved = self._analyze(stmt)
         if isinstance(stmt, ast.Select):
-            return self._execute_select(stmt, user)
+            return self._execute_select(stmt, user, resolved)
         if isinstance(stmt, ast.CreateTable):
-            return self._execute_create(stmt)
+            return self._execute_create(stmt, resolved)
         if isinstance(stmt, ast.Insert):
             return self._execute_insert(stmt)
         if isinstance(stmt, ast.Delete):
@@ -127,10 +129,24 @@ class QueryExecutor:
         if isinstance(stmt, ast.Explain):
             return self._execute_explain(stmt.query)
         if isinstance(stmt, ast.Profile):
-            return self._execute_profile(stmt.query, user)
+            return self._execute_profile(stmt.query, user, resolved)
         raise ExecutionError(f"unsupported statement type {type(stmt).__name__}")
 
-    def _execute_profile(self, stmt: ast.Select, user: str) -> ResultSet:
+    def _analyze(self, stmt: ast.Statement) -> ResolvedQuery:
+        """Static semantic analysis: reject malformed statements before any
+        snapshot resolves or scan starts (raises a typed ``SemanticError``
+        carrying ``SAxxx`` diagnostics with source offsets)."""
+        query = stmt.query if isinstance(stmt, (ast.Explain, ast.Profile)) else stmt
+        if isinstance(query, ast.Select) and query.udtf is not None \
+                and not self.cluster.catalog.has_udtf(query.udtf.name):
+            # Built-in transfer/prediction functions install on first use,
+            # so the analyzer binds against the same registry the UDTF
+            # executor would see.
+            self.cluster.install_standard_functions()
+        return check(stmt, ClusterProvider(self.cluster))
+
+    def _execute_profile(self, stmt: ast.Select, user: str,
+                         resolved: ResolvedQuery | None = None) -> ResultSet:
         """Execute the query, return its operator span tree instead of rows.
 
         Vertica's PROFILE analogue: per-operator wall time, rows, bytes,
@@ -140,7 +156,7 @@ class QueryExecutor:
         counter deltas for the same query.
         """
         with self.cluster.tracer.span("query") as span:
-            result = self._execute_select(stmt, user)
+            result = self._execute_select(stmt, user, resolved)
             span.set(result_rows=len(result))
         return _render_profile(span)
 
@@ -194,13 +210,20 @@ class QueryExecutor:
             lines.append(f"LIMIT {stmt.limit}")
         return ResultSet(["plan"], {"plan": np.asarray(lines, dtype=object)})
 
-    def _execute_create(self, stmt: ast.CreateTable) -> ResultSet:
+    def _execute_create(self, stmt: ast.CreateTable,
+                        resolved: ResolvedQuery | None = None) -> ResultSet:
         from repro.storage.encoding import ColumnSchema, SqlType
         from repro.vertica.segmentation import HashSegmentation, RoundRobinSegmentation, Unsegmented
 
+        # The analyzer already resolved the column types (SA210 rejected
+        # unknown names); reuse them instead of re-parsing the type strings.
+        if resolved is not None and resolved.create_types is not None:
+            types = resolved.create_types
+        else:
+            types = [SqlType.from_sql_name(col.type_name) for col in stmt.columns]
         schema = [
-            ColumnSchema(col.name, SqlType.from_sql_name(col.type_name))
-            for col in stmt.columns
+            ColumnSchema(col.name, sql_type)
+            for col, sql_type in zip(stmt.columns, types)
         ]
         if stmt.segmentation is None:
             segmentation = RoundRobinSegmentation()
@@ -221,7 +244,8 @@ class QueryExecutor:
 
     # -- SELECT ---------------------------------------------------------------
 
-    def _execute_select(self, stmt: ast.Select, user: str) -> ResultSet:
+    def _execute_select(self, stmt: ast.Select, user: str,
+                        resolved: ResolvedQuery | None = None) -> ResultSet:
         stmt = self._resolve_aliases(stmt)
         # One snapshot per statement, resolved before any scan starts:
         # every node scan (eager or streaming) reads the same epoch.
@@ -230,7 +254,7 @@ class QueryExecutor:
         if stmt.join is not None:
             with tracer.span("join", table=stmt.table or ""):
                 return self._execute_join_select(stmt, snapshot)
-        plan = plan_select(stmt)
+        plan = plan_select(stmt, resolved=resolved)
         if isinstance(plan, UdtfPlan):
             with tracer.span("udtf", function=plan.udtf.name,
                              table=plan.table or "") as span:

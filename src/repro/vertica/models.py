@@ -22,10 +22,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import CatalogError, PermissionDeniedError
+from repro.storage.encoding import SqlType
 
-__all__ = ["ModelRecord", "RModelsCatalog", "Privilege"]
+__all__ = ["ModelRecord", "RModelsCatalog", "Privilege",
+           "R_MODELS_TABLE_NAME", "R_MODELS_COLUMN_TYPES"]
 
 R_MODELS_TABLE_NAME = "r_models"
+
+# SQL types of the virtual R_Models table (Figure 10), keyed in column order;
+# the semantic analyzer binds ``FROM R_Models`` queries against this schema.
+R_MODELS_COLUMN_TYPES: dict[str, SqlType] = {
+    "model": SqlType.VARCHAR,
+    "owner": SqlType.VARCHAR,
+    "type": SqlType.VARCHAR,
+    "size": SqlType.INTEGER,
+    "description": SqlType.VARCHAR,
+}
 
 
 class Privilege:

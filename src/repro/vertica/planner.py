@@ -11,12 +11,16 @@ how the input table is partitioned", §5).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import SqlAnalysisError
 from repro.vertica.expressions import columns_referenced
 from repro.vertica.sql import ast
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.vertica.sql.analyzer import ResolvedQuery
 
 __all__ = ["ScanPlan", "AggregatePlan", "UdtfPlan", "plan_select",
            "instance_boundaries"]
@@ -75,16 +79,28 @@ class UdtfPlan:
     columns_needed: set[str] = field(default_factory=set)
 
 
-def plan_select(stmt: ast.Select) -> ScanPlan | AggregatePlan | UdtfPlan:
-    """Classify and validate a SELECT statement."""
+def plan_select(stmt: ast.Select,
+                resolved: "ResolvedQuery | None" = None
+                ) -> ScanPlan | AggregatePlan | UdtfPlan:
+    """Classify and validate a SELECT statement.
+
+    ``resolved`` is the analyzer's annotation for this statement; when
+    present its pre-computed projection set replaces the per-clause column
+    walks below (the validation raises stay, for callers that plan without
+    analyzing first).
+    """
     if stmt.table is None:
         raise SqlAnalysisError("SELECT without FROM is not supported")
+    precomputed = (set(resolved.columns_needed)
+                   if resolved is not None else None)
 
     if stmt.udtf is not None:
         if stmt.group_by or stmt.having or stmt.order_by or stmt.limit is not None:
             raise SqlAnalysisError(
                 "UDTF queries do not support GROUP BY / HAVING / ORDER BY / LIMIT"
             )
+        if precomputed is not None:
+            return UdtfPlan(stmt.table, stmt.udtf, stmt.where, precomputed)
         needed: set[str] = set()
         for arg in stmt.udtf.args:
             needed |= columns_referenced(arg)
@@ -100,17 +116,20 @@ def plan_select(stmt: ast.Select) -> ScanPlan | AggregatePlan | UdtfPlan:
     if aggregates or stmt.group_by:
         if stmt.select_star:
             raise SqlAnalysisError("SELECT * cannot be combined with aggregation")
-        needed = set()
-        for item in stmt.items:
-            needed |= columns_referenced(item.expr)
-        for expr in stmt.group_by:
-            needed |= columns_referenced(expr)
-        if stmt.where is not None:
-            needed |= columns_referenced(stmt.where)
-        if stmt.having is not None:
-            needed |= columns_referenced(stmt.having)
-        for order in stmt.order_by:
-            needed |= columns_referenced(order.expr)
+        if precomputed is not None:
+            needed = precomputed
+        else:
+            needed = set()
+            for item in stmt.items:
+                needed |= columns_referenced(item.expr)
+            for expr in stmt.group_by:
+                needed |= columns_referenced(expr)
+            if stmt.where is not None:
+                needed |= columns_referenced(stmt.where)
+            if stmt.having is not None:
+                needed |= columns_referenced(stmt.having)
+            for order in stmt.order_by:
+                needed |= columns_referenced(order.expr)
         return AggregatePlan(
             table=stmt.table,
             items=stmt.items,
@@ -125,13 +144,16 @@ def plan_select(stmt: ast.Select) -> ScanPlan | AggregatePlan | UdtfPlan:
 
     if stmt.having is not None:
         raise SqlAnalysisError("HAVING requires GROUP BY or aggregates")
-    needed = set()
-    for item in stmt.items:
-        needed |= columns_referenced(item.expr)
-    if stmt.where is not None:
-        needed |= columns_referenced(stmt.where)
-    for order in stmt.order_by:
-        needed |= columns_referenced(order.expr)
+    if precomputed is not None:
+        needed = precomputed
+    else:
+        needed = set()
+        for item in stmt.items:
+            needed |= columns_referenced(item.expr)
+        if stmt.where is not None:
+            needed |= columns_referenced(stmt.where)
+        for order in stmt.order_by:
+            needed |= columns_referenced(order.expr)
     return ScanPlan(
         table=stmt.table,
         items=stmt.items,

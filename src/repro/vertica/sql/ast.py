@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterator
 
 __all__ = [
     "Expr", "ColumnRef", "Literal", "BinaryOp", "UnaryOp", "FunctionCall",
@@ -20,12 +20,20 @@ __all__ = [
 
 
 class Expr:
-    """Base class for expression nodes."""
+    """Base class for expression nodes.
+
+    ``position`` is the source offset of the token that started the node,
+    attached by the parser via :func:`repro.vertica.sql.parser` (it is a
+    plain attribute, not a dataclass field, so node equality and hashing —
+    which the planner uses to match aggregates across clauses — ignore it).
+    """
+
+    position: int | None = None
 
     def children(self) -> list["Expr"]:
         return []
 
-    def walk(self):
+    def walk(self) -> Iterator["Expr"]:
         """Yield this node and every descendant."""
         yield self
         for child in self.children():
@@ -190,6 +198,8 @@ class UdtfCall:
     args: tuple[Expr, ...]
     parameters: dict[str, Any] = field(default_factory=dict)
     partition: PartitionSpec = PartitionSpec(PartitionKind.BEST)
+    # Source offset of the function name token (excluded from equality).
+    position: int | None = field(default=None, compare=False, repr=False)
 
 
 class Statement:
@@ -204,6 +214,8 @@ class JoinClause:
     alias: str | None
     condition: Expr
     kind: str = "inner"  # "inner" | "left"
+    # Source offset of the joined table name (excluded from equality).
+    table_position: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -223,12 +235,16 @@ class Select(Statement):
     # ``AT EPOCH n SELECT ...``: read at historical epoch ``n`` instead of
     # the latest committed snapshot (None = latest).
     at_epoch: int | None = None
+    # Source offset of the FROM table name (None when there is no FROM).
+    table_position: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
 class ColumnDef:
     name: str
     type_name: str
+    position: int | None = field(default=None, compare=False, repr=False)
+    type_position: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -244,12 +260,17 @@ class CreateTable(Statement):
     name: str
     columns: list[ColumnDef]
     segmentation: SegmentationClause | None = None
+    name_position: int | None = field(default=None, compare=False, repr=False)
+    segmentation_position: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass
 class Insert(Statement):
     table: str
     rows: list[list[Any]]
+    table_position: int | None = field(default=None, compare=False, repr=False)
+    # One offset per VALUES row (the opening paren), parallel to ``rows``.
+    row_positions: list[int] = field(default_factory=list, compare=False, repr=False)
 
 
 @dataclass
@@ -258,6 +279,7 @@ class Delete(Statement):
 
     table: str
     where: Expr | None = None
+    table_position: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass
@@ -267,12 +289,16 @@ class Update(Statement):
     table: str
     assignments: list[tuple[str, Expr]]
     where: Expr | None = None
+    table_position: int | None = field(default=None, compare=False, repr=False)
+    # One offset per SET target column name, parallel to ``assignments``.
+    assignment_positions: list[int] = field(default_factory=list, compare=False, repr=False)
 
 
 @dataclass
 class DropTable(Statement):
     name: str
     if_exists: bool = False
+    name_position: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass

@@ -70,12 +70,14 @@ def tokenize(sql: str) -> list[Token]:
             i = n if end == -1 else end + 1
             continue
         if ch == "'":
+            start = i
             text, i = _read_quoted(sql, i, "'")
-            tokens.append(Token(TokenType.STRING, text, i))
+            tokens.append(Token(TokenType.STRING, text, start))
             continue
         if ch == '"':
+            start = i
             text, i = _read_quoted(sql, i, '"')
-            tokens.append(Token(TokenType.IDENT, text, i))
+            tokens.append(Token(TokenType.IDENT, text, start))
             continue
         if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
             start = i

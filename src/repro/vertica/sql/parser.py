@@ -123,6 +123,7 @@ class _Parser:
     # -- statements ---------------------------------------------------------
 
     def statement(self) -> ast.Statement:
+        start = self.current.position
         if self.check_keyword("SELECT"):
             return self.select()
         if self.check_keyword("CREATE"):
@@ -140,12 +141,16 @@ class _Parser:
         if self.accept_keyword("EXPLAIN"):
             inner = self.statement()
             if not isinstance(inner, ast.Select):
-                raise SqlSyntaxError("EXPLAIN supports SELECT statements only")
+                raise SqlSyntaxError(
+                    "EXPLAIN supports SELECT statements only", position=start
+                )
             return ast.Explain(inner)
         if self.accept_keyword("PROFILE"):
             inner = self.statement()
             if not isinstance(inner, ast.Select):
-                raise SqlSyntaxError("PROFILE supports SELECT statements only")
+                raise SqlSyntaxError(
+                    "PROFILE supports SELECT statements only", position=start
+                )
             return ast.Profile(inner)
         raise SqlSyntaxError(
             f"expected a statement, found {self.current.value!r}",
@@ -168,24 +173,32 @@ class _Parser:
                 item_or_udtf = self._select_item()
                 if isinstance(item_or_udtf, ast.UdtfCall):
                     if udtf is not None:
-                        raise SqlSyntaxError("multiple UDTF calls in one SELECT")
+                        raise SqlSyntaxError(
+                            "multiple UDTF calls in one SELECT",
+                            position=item_or_udtf.position,
+                        )
                     udtf = item_or_udtf
                 else:
                     items.append(item_or_udtf)
         if udtf is not None and items:
-            raise SqlSyntaxError("a UDTF call cannot be mixed with other select items")
+            raise SqlSyntaxError(
+                "a UDTF call cannot be mixed with other select items",
+                position=udtf.position,
+            )
 
         table = None
         table_alias = None
+        table_position = None
         join = None
         if self.accept_keyword("FROM"):
+            table_position = self.current.position
             table = self.expect_ident("table name")
             if self.current.type is TokenType.IDENT:
                 table_alias = self.advance().value
             join = self._join_clause()
         stmt = ast.Select(items=items, table=table, table_alias=table_alias,
                           join=join, udtf=udtf, select_star=select_star,
-                          distinct=distinct)
+                          distinct=distinct, table_position=table_position)
 
         if self.accept_keyword("WHERE"):
             stmt.where = self.expression()
@@ -219,6 +232,7 @@ class _Parser:
             self.expect_keyword("JOIN")
         elif not self.accept_keyword("JOIN"):
             return None
+        table_position = self.current.position
         table = self.expect_ident("table name")
         alias = None
         if self.current.type is TokenType.IDENT:
@@ -226,7 +240,7 @@ class _Parser:
         self.expect_keyword("ON")
         condition = self.expression()
         return ast.JoinClause(table=table, alias=alias, condition=condition,
-                              kind=kind)
+                              kind=kind, table_position=table_position)
 
     def _order_item(self) -> ast.OrderItem:
         expr = self.expression()
@@ -247,7 +261,8 @@ class _Parser:
             params = getattr(expr, "_udtf_params", None) or {}
             partition = self._over_clause()
             return ast.UdtfCall(
-                name=expr.name, args=expr.args, parameters=params, partition=partition
+                name=expr.name, args=expr.args, parameters=params,
+                partition=partition, position=expr.position,
             )
         alias = None
         if self.accept_keyword("AS"):
@@ -278,6 +293,7 @@ class _Parser:
     def create_table(self) -> ast.CreateTable:
         self.expect_keyword("CREATE")
         self.expect_keyword("TABLE")
+        name_position = self.current.position
         name = self.expect_ident("table name")
         self.expect_punct("(")
         columns = [self._column_def()]
@@ -285,10 +301,12 @@ class _Parser:
             columns.append(self._column_def())
         self.expect_punct(")")
         segmentation = None
+        segmentation_position = None
         if self.accept_keyword("SEGMENTED"):
             self.expect_keyword("BY")
             self.expect_keyword("HASH")
             self.expect_punct("(")
+            segmentation_position = self.current.position
             column = self.expect_ident("segmentation column")
             self.expect_punct(")")
             self.expect_keyword("ALL")
@@ -296,46 +314,61 @@ class _Parser:
             segmentation = ast.SegmentationClause("hash", column)
         elif self.accept_keyword("UNSEGMENTED"):
             segmentation = ast.SegmentationClause("unsegmented")
-        return ast.CreateTable(name, columns, segmentation)
+        return ast.CreateTable(name, columns, segmentation,
+                               name_position=name_position,
+                               segmentation_position=segmentation_position)
 
     def _column_def(self) -> ast.ColumnDef:
+        position = self.current.position
         name = self.expect_ident("column name")
+        type_position = self.current.position
         type_parts = [self.expect_ident("type name")]
         # allow multi-word types like DOUBLE PRECISION
         while self.current.type is TokenType.IDENT:
             type_parts.append(self.advance().value)
-        return ast.ColumnDef(name, " ".join(type_parts))
+        return ast.ColumnDef(name, " ".join(type_parts),
+                             position=position, type_position=type_position)
 
     def insert(self) -> ast.Insert:
         self.expect_keyword("INSERT")
         self.expect_keyword("INTO")
+        table_position = self.current.position
         table = self.expect_ident("table name")
         self.expect_keyword("VALUES")
+        row_positions = [self.current.position]
         rows = [self._value_row()]
         while self.accept_punct(","):
+            row_positions.append(self.current.position)
             rows.append(self._value_row())
-        return ast.Insert(table, rows)
+        return ast.Insert(table, rows, table_position=table_position,
+                          row_positions=row_positions)
 
     def delete(self) -> ast.Delete:
         self.expect_keyword("DELETE")
         self.expect_keyword("FROM")
+        table_position = self.current.position
         table = self.expect_ident("table name")
         where = None
         if self.accept_keyword("WHERE"):
             where = self.expression()
-        return ast.Delete(table, where)
+        return ast.Delete(table, where, table_position=table_position)
 
     def update(self) -> ast.Update:
         self.expect_keyword("UPDATE")
+        table_position = self.current.position
         table = self.expect_ident("table name")
         self.expect_keyword("SET")
+        assignment_positions = [self.current.position]
         assignments = [self._assignment()]
         while self.accept_punct(","):
+            assignment_positions.append(self.current.position)
             assignments.append(self._assignment())
         where = None
         if self.accept_keyword("WHERE"):
             where = self.expression()
-        return ast.Update(table, assignments, where)
+        return ast.Update(table, assignments, where,
+                          table_position=table_position,
+                          assignment_positions=assignment_positions)
 
     def _assignment(self) -> tuple[str, ast.Expr]:
         column = self.expect_ident("column name")
@@ -355,9 +388,12 @@ class _Parser:
                 )
             self.advance()
             epoch = int(float(token.value))
+        inner_position = self.current.position
         inner = self.statement()
         if not isinstance(inner, ast.Select):
-            raise SqlSyntaxError("AT EPOCH supports SELECT statements only")
+            raise SqlSyntaxError(
+                "AT EPOCH supports SELECT statements only", position=inner_position
+            )
         inner.at_epoch = epoch
         return inner
 
@@ -384,8 +420,9 @@ class _Parser:
             if nxt.value.upper() != "EXISTS":
                 raise SqlSyntaxError("expected EXISTS after IF", position=nxt.position)
             if_exists = True
+        name_position = self.current.position
         name = self.expect_ident("table name")
-        return ast.DropTable(name, if_exists)
+        return ast.DropTable(name, if_exists, name_position=name_position)
 
     # -- expressions (precedence climbing) -----------------------------------
 
@@ -394,40 +431,49 @@ class _Parser:
 
     def _or_expr(self) -> ast.Expr:
         left = self._and_expr()
-        while self.accept_keyword("OR"):
-            left = ast.BinaryOp("OR", left, self._and_expr())
-        return left
+        while True:
+            position = self.current.position
+            if not self.accept_keyword("OR"):
+                return left
+            left = _at(ast.BinaryOp("OR", left, self._and_expr()), position)
 
     def _and_expr(self) -> ast.Expr:
         left = self._not_expr()
-        while self.accept_keyword("AND"):
-            left = ast.BinaryOp("AND", left, self._not_expr())
-        return left
+        while True:
+            position = self.current.position
+            if not self.accept_keyword("AND"):
+                return left
+            left = _at(ast.BinaryOp("AND", left, self._not_expr()), position)
 
     def _not_expr(self) -> ast.Expr:
+        position = self.current.position
         if self.accept_keyword("NOT"):
-            return ast.UnaryOp("NOT", self._not_expr())
+            return _at(ast.UnaryOp("NOT", self._not_expr()), position)
         return self._comparison()
 
     def _comparison(self) -> ast.Expr:
         left = self._additive()
+        position = self.current.position
         op = self.accept_operator(*_COMPARISONS)
         if op is not None:
             normalized = "<>" if op == "!=" else op
-            return ast.BinaryOp(normalized, left, self._additive())
+            return _at(ast.BinaryOp(normalized, left, self._additive()), position)
         if self.accept_keyword("IS"):
             negated = self.accept_keyword("NOT")
             self.expect_keyword("NULL")
-            node: ast.Expr = ast.FunctionCall("is_null", (left,))
-            return ast.UnaryOp("NOT", node) if negated else node
+            node: ast.Expr = _at(ast.FunctionCall("is_null", (left,)), position)
+            return _at(ast.UnaryOp("NOT", node), position) if negated else node
         if self.accept_keyword("BETWEEN"):
             low = self._additive()
             self.expect_keyword("AND")
             high = self._additive()
-            return ast.BinaryOp(
-                "AND",
-                ast.BinaryOp(">=", left, low),
-                ast.BinaryOp("<=", left, high),
+            return _at(
+                ast.BinaryOp(
+                    "AND",
+                    _at(ast.BinaryOp(">=", left, low), position),
+                    _at(ast.BinaryOp("<=", left, high), position),
+                ),
+                position,
             )
         negated = self.accept_keyword("NOT")
         if self.accept_keyword("IN"):
@@ -436,16 +482,16 @@ class _Parser:
             while self.accept_punct(","):
                 values.append(self._literal_value())
             self.expect_punct(")")
-            node: ast.Expr = ast.InList(left, tuple(values))
-            return ast.UnaryOp("NOT", node) if negated else node
+            node = _at(ast.InList(left, tuple(values)), position)
+            return _at(ast.UnaryOp("NOT", node), position) if negated else node
         if self.accept_keyword("LIKE"):
             pattern = self.current
             if pattern.type is not TokenType.STRING:
                 raise SqlSyntaxError("LIKE requires a string pattern",
                                      position=pattern.position)
             self.advance()
-            node = ast.LikeMatch(left, pattern.value)
-            return ast.UnaryOp("NOT", node) if negated else node
+            node = _at(ast.LikeMatch(left, pattern.value), position)
+            return _at(ast.UnaryOp("NOT", node), position) if negated else node
         if negated:
             raise SqlSyntaxError(
                 "expected IN or LIKE after NOT in a comparison",
@@ -456,22 +502,25 @@ class _Parser:
     def _additive(self) -> ast.Expr:
         left = self._multiplicative()
         while True:
+            position = self.current.position
             op = self.accept_operator("+", "-", "||")
             if op is None:
                 return left
-            left = ast.BinaryOp(op, left, self._multiplicative())
+            left = _at(ast.BinaryOp(op, left, self._multiplicative()), position)
 
     def _multiplicative(self) -> ast.Expr:
         left = self._unary()
         while True:
+            position = self.current.position
             op = self.accept_operator("*", "/", "%")
             if op is None:
                 return left
-            left = ast.BinaryOp(op, left, self._unary())
+            left = _at(ast.BinaryOp(op, left, self._unary()), position)
 
     def _unary(self) -> ast.Expr:
+        position = self.current.position
         if self.accept_operator("-"):
-            return ast.UnaryOp("-", self._unary())
+            return _at(ast.UnaryOp("-", self._unary()), position)
         if self.accept_operator("+"):
             return self._unary()
         return self._primary()
@@ -482,30 +531,30 @@ class _Parser:
             self.advance()
             text = token.value
             value = float(text) if any(c in text for c in ".eE") else int(text)
-            return ast.Literal(value)
+            return _at(ast.Literal(value), token.position)
         if token.type is TokenType.STRING:
             self.advance()
-            return ast.Literal(token.value)
+            return _at(ast.Literal(token.value), token.position)
         if token.matches_keyword("TRUE"):
             self.advance()
-            return ast.Literal(True)
+            return _at(ast.Literal(True), token.position)
         if token.matches_keyword("FALSE"):
             self.advance()
-            return ast.Literal(False)
+            return _at(ast.Literal(False), token.position)
         if token.matches_keyword("NULL"):
             self.advance()
-            return ast.Literal(None)
+            return _at(ast.Literal(None), token.position)
         if token.matches_keyword(*_AGGREGATES):
             self.advance()
-            return self._aggregate(token.value)
+            return self._aggregate(token.value, token.position)
         if token.type is TokenType.IDENT:
             self.advance()
             if self.accept_punct("("):
-                return self._call(token.value)
+                return self._call(token.value, token.position)
             if self.accept_punct("."):
                 column = self.expect_ident("column name")
-                return ast.ColumnRef(column, qualifier=token.value)
-            return ast.ColumnRef(token.value)
+                return _at(ast.ColumnRef(column, qualifier=token.value), token.position)
+            return _at(ast.ColumnRef(token.value), token.position)
         if self.accept_punct("("):
             expr = self.expression()
             self.expect_punct(")")
@@ -514,17 +563,17 @@ class _Parser:
             f"expected an expression, found {token.value!r}", position=token.position
         )
 
-    def _aggregate(self, name: str) -> ast.Expr:
+    def _aggregate(self, name: str, position: int) -> ast.Expr:
         self.expect_punct("(")
         distinct = self.accept_keyword("DISTINCT")
         if name == "COUNT" and self.accept_operator("*"):
             self.expect_punct(")")
-            return ast.AggregateCall("COUNT", None, distinct)
+            return _at(ast.AggregateCall("COUNT", None, distinct), position)
         arg = self.expression()
         self.expect_punct(")")
-        return ast.AggregateCall(name, arg, distinct)
+        return _at(ast.AggregateCall(name, arg, distinct), position)
 
-    def _call(self, name: str) -> ast.Expr:
+    def _call(self, name: str, position: int) -> ast.Expr:
         """Parse a call after the opening paren; may carry UDTF parameters."""
         args: list[ast.Expr] = []
         params: dict[str, Any] | None = None
@@ -544,7 +593,7 @@ class _Parser:
                     self._expect_eq()
                     params[key] = _fold_literal(self.expression())
             self.expect_punct(")")
-        call = ast.FunctionCall(name.lower(), tuple(args))
+        call = _at(ast.FunctionCall(name.lower(), tuple(args)), position)
         if params is not None:
             # Stash UDTF parameters on the node; _select_item turns this into
             # a UdtfCall when it sees the OVER clause.
@@ -559,6 +608,12 @@ class _Parser:
             )
 
 
+def _at(node: ast.Expr, position: int | None) -> ast.Expr:
+    """Attach a source offset to an expression node (see ``ast.Expr.position``)."""
+    object.__setattr__(node, "position", position)
+    return node
+
+
 def _fold_literal(expr: ast.Expr) -> Any:
     """Reduce a constant expression to a Python value (for VALUES/params)."""
     if isinstance(expr, ast.Literal):
@@ -567,4 +622,6 @@ def _fold_literal(expr: ast.Expr) -> Any:
         inner = _fold_literal(expr.operand)
         if isinstance(inner, (int, float)):
             return -inner
-    raise SqlSyntaxError(f"expected a literal value, found {expr}")
+    raise SqlSyntaxError(
+        f"expected a literal value, found {expr}", position=expr.position
+    )

@@ -25,7 +25,33 @@ from repro.vertica.pipeline import concat_batches
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.vertica.cluster import VerticaCluster
 
-__all__ = ["UdtfContext", "TransformFunction", "FunctionBasedUdtf"]
+__all__ = ["UdtfContext", "UdtfSignature", "TransformFunction", "FunctionBasedUdtf"]
+
+
+@dataclass(frozen=True)
+class UdtfSignature:
+    """Statically declared calling convention of a transform function.
+
+    Consumed by the SQL semantic analyzer (:mod:`repro.vertica.sql.analyzer`)
+    to reject malformed calls before any instance is fanned out.  The default
+    is fully permissive, so functions that do not declare a signature keep
+    their runtime-checked behaviour.
+
+    ``min_args``/``max_args`` bound the argument count (``None`` = unbounded);
+    ``numeric_args`` requires every argument to be numeric (INTEGER, FLOAT,
+    or BOOLEAN — the encodings the prediction functions stack into a float64
+    feature matrix); ``required_parameters``/``known_parameters`` describe the
+    ``USING PARAMETERS`` dict (``known_parameters=None`` accepts any name);
+    ``model_parameter`` names the parameter holding an ``R_Models`` reference,
+    checked against the deployed-model catalog at execution time.
+    """
+
+    min_args: int = 0
+    max_args: int | None = None
+    numeric_args: bool = False
+    required_parameters: frozenset[str] = frozenset()
+    known_parameters: frozenset[str] | None = None
+    model_parameter: str | None = None
 
 
 @dataclass
@@ -57,6 +83,10 @@ class TransformFunction:
     """
 
     name: str = ""
+
+    def signature(self) -> UdtfSignature:
+        """Declared calling convention; permissive unless overridden."""
+        return UdtfSignature()
 
     def output_schema(self, params: Mapping[str, Any]) -> list[ColumnSchema] | None:
         """Declared output columns, or ``None`` to infer from outputs."""

@@ -1,10 +1,13 @@
-"""Drift checks: ``docs/metrics_reference.md`` vs the live catalog.
+"""Drift checks: documentation tables vs their live registries.
 
-The metrics reference embeds the table rendered by
+``docs/metrics_reference.md`` embeds the table rendered by
 ``repro.obs.metrics.catalog_markdown_table()`` between ``catalog:begin`` /
-``catalog:end`` markers.  These tests fail when either side moves without
-the other: a metric declared but undocumented, documented but undeclared,
-or documented with a stale kind/unit/module/description.
+``catalog:end`` markers; ``docs/sql_reference.md`` embeds
+``repro.vertica.sql.analyzer.sa_codes_markdown_table()`` between
+``sa-codes`` markers.  ``docs/observability.md`` and
+``docs/fault_tolerance.md`` must name every span in ``SPAN_TAXONOMY`` and
+every site in ``FAULT_SITES``.  These tests fail when either side moves
+without the other.
 """
 
 from __future__ import annotations
@@ -75,3 +78,55 @@ def test_emitting_modules_exist():
 
     for module in sorted({spec.module for spec in declared_instruments()}):
         importlib.import_module(module)
+
+
+# ---------------------------------------------------------------------------
+# SQL diagnostic codes: docs/sql_reference.md vs analyzer.SA_CODES
+# ---------------------------------------------------------------------------
+
+SQL_DOC = Path(__file__).parent.parent / "docs" / "sql_reference.md"
+
+
+def test_sa_codes_table_matches_rendered_registry():
+    from repro.vertica.sql.analyzer import sa_codes_markdown_table
+
+    text = SQL_DOC.read_text()
+    match = re.search(
+        r"<!-- sa-codes:begin -->\n(.*?)\n<!-- sa-codes:end -->",
+        text, re.DOTALL,
+    )
+    assert match, "docs/sql_reference.md lost its sa-codes markers"
+    assert match.group(1).strip() == sa_codes_markdown_table(), (
+        "docs/sql_reference.md drifted from analyzer.SA_CODES; regenerate "
+        "with `PYTHONPATH=src python -c \"from repro.vertica.sql.analyzer "
+        "import sa_codes_markdown_table; print(sa_codes_markdown_table())\"` "
+        "and paste between the sa-codes markers"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Span taxonomy and fault sites: docs name every registered entry
+# ---------------------------------------------------------------------------
+
+def test_every_span_name_is_documented():
+    from repro.obs.trace import SPAN_TAXONOMY
+
+    text = (Path(__file__).parent.parent / "docs" / "observability.md").read_text()
+    documented = set(re.findall(r"`([a-z_.]+)`", text))
+    missing = set(SPAN_TAXONOMY) - documented
+    assert not missing, (
+        f"spans in SPAN_TAXONOMY but absent from docs/observability.md: "
+        f"{sorted(missing)}"
+    )
+
+
+def test_every_fault_site_is_documented():
+    from repro.faults import FAULT_SITES
+
+    text = (Path(__file__).parent.parent / "docs" / "fault_tolerance.md").read_text()
+    documented = set(re.findall(r"`([a-z_.]+)`", text))
+    missing = set(FAULT_SITES) - documented
+    assert not missing, (
+        f"sites in FAULT_SITES but absent from docs/fault_tolerance.md: "
+        f"{sorted(missing)}"
+    )

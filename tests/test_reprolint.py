@@ -458,6 +458,143 @@ def test_snapshot_reads_exempts_storage_and_txn_layers():
 
 
 # ---------------------------------------------------------------------------
+# registry-drift (RL901/RL902/RL903, project scope)
+# ---------------------------------------------------------------------------
+
+def _drift_project(tmp_path: Path, engine_body: str) -> ProjectContext:
+    """Fake src/ tree with tiny registry modules and one engine file."""
+    metrics = tmp_path / "src/repro/obs/metrics.py"
+    metrics.parent.mkdir(parents=True)
+    metrics.write_text(
+        textwrap.dedent(
+            """
+            def _spec(name, kind):
+                return name
+
+            CATALOG = {
+                "rows.scanned": _spec("rows.scanned", "counter"),
+                "bytes.sent": _spec("bytes.sent", "counter"),
+            }
+            """
+        ),
+        encoding="utf-8",
+    )
+
+    sites = tmp_path / "src/repro/faults/sites.py"
+    sites.parent.mkdir(parents=True)
+    sites.write_text(
+        'FAULT_SITES = {"vft.send_chunk": "chunk send", "dr.task": "task"}\n',
+        encoding="utf-8",
+    )
+
+    trace = tmp_path / "src/repro/obs/trace.py"
+    trace.write_text(
+        'SPAN_TAXONOMY = {"query": "one statement", "scan": "a scan"}\n',
+        encoding="utf-8",
+    )
+
+    engine = tmp_path / "src/repro/vertica/engine.py"
+    engine.parent.mkdir(parents=True)
+    engine.write_text(textwrap.dedent(engine_body), encoding="utf-8")
+
+    return ProjectContext(tmp_path, [metrics, sites, trace, engine])
+
+
+def test_metric_drift_catches_undeclared_metric_names(tmp_path):
+    project = _drift_project(
+        tmp_path,
+        """
+        def run(self, plan):
+            self.telemetry.add("rows.scanned", 3)        # declared: fine
+            self.telemetry.observe_max("rows.scaned", 9) # typo: drift
+            counter = self.registry.counter("bytes.snt") # typo: drift
+            plan.record("anything.goes")                 # not a metric API
+        """,
+    )
+    checker = get_checker("metric-drift")
+    violations = list(checker.check_project(project))
+    assert [v.message.split("'")[1] for v in violations] == [
+        "rows.scaned", "bytes.snt",
+    ]
+    assert all(v.code == "RL901" for v in violations)
+    assert all("CATALOG" in v.message for v in violations)
+
+
+def test_fault_site_drift_catches_unregistered_sites(tmp_path):
+    project = _drift_project(
+        tmp_path,
+        """
+        def run(self, plan):
+            plan.perturb("vft.send_chunk")   # registered: fine
+            plan.perturb("vft.send_chnk")    # typo: drift
+            plan.perturb(self.site)          # dynamic: out of scope
+        """,
+    )
+    checker = get_checker("fault-site-drift")
+    violations = list(checker.check_project(project))
+    assert len(violations) == 1
+    assert violations[0].code == "RL902"
+    assert "vft.send_chnk" in violations[0].message
+    assert "FAULT_SITES" in violations[0].message
+
+
+def test_span_drift_catches_untaxonomied_span_names(tmp_path):
+    project = _drift_project(
+        tmp_path,
+        """
+        def run(self):
+            with self.tracer.span("query"):   # documented: fine
+                with self.tracer.span("quary"):
+                    pass
+        """,
+    )
+    checker = get_checker("span-drift")
+    violations = list(checker.check_project(project))
+    assert len(violations) == 1
+    assert violations[0].code == "RL903"
+    assert "quary" in violations[0].message
+    assert "SPAN_TAXONOMY" in violations[0].message
+
+
+def test_registry_drift_clean_engine_passes(tmp_path):
+    project = _drift_project(
+        tmp_path,
+        """
+        def run(self, plan):
+            self.telemetry.add("rows.scanned", 1)
+            self.telemetry.gauge_add("bytes.sent", 64)
+            plan.perturb("dr.task")
+            with self.tracer.span("scan", node=0):
+                pass
+        """,
+    )
+    for rule in ("metric-drift", "fault-site-drift", "span-drift"):
+        assert list(get_checker(rule).check_project(project)) == []
+
+
+def test_registry_drift_reports_missing_registry(tmp_path):
+    """A moved/renamed registry module is itself a finding, not a silent pass."""
+    project = _drift_project(tmp_path, "def run(self): pass\n")
+    (tmp_path / "src/repro/faults/sites.py").unlink()
+    violations = list(get_checker("fault-site-drift").check_project(project))
+    assert len(violations) == 1
+    assert "cannot extract FAULT_SITES" in violations[0].message
+
+
+def test_registry_drift_ignores_tests(tmp_path):
+    """tests/ may invent ad-hoc metric/site/span names freely."""
+    project = _drift_project(tmp_path, "def run(self): pass\n")
+    test_file = tmp_path / "tests/test_x.py"
+    test_file.parent.mkdir()
+    test_file.write_text(
+        'def test_x(plan):\n    plan.perturb("made.up.site")\n',
+        encoding="utf-8",
+    )
+    project = ProjectContext(tmp_path, list(project.files) + [test_file])
+    assert list(get_checker("fault-site-drift").check_project(project)) == []
+
+
+# ---------------------------------------------------------------------------
 # suppressions and baseline
 # ---------------------------------------------------------------------------
 
@@ -521,6 +658,79 @@ def test_baseline_accepts_matching_violation(tmp_path):
     out = io.StringIO()
     assert reprolint_run(tmp_path, ["src"], select=["lock-discipline"], out=out) == 0
     assert "2 baselined" in out.getvalue()
+
+
+def test_stale_baseline_entries_fail_the_run(tmp_path):
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    (src_dir / "bad.py").write_text(textwrap.dedent(LOCKED_CLASS_BAD), encoding="utf-8")
+    (tmp_path / "reprolint.baseline").write_text(
+        "lock-discipline | src/bad.py | Store.put | demo fixture\n"
+        "lock-discipline | src/bad.py | Store.bump | demo fixture\n"
+        "lock-discipline | src/bad.py | Store.gone | method was deleted\n",
+        encoding="utf-8",
+    )
+    import io
+
+    out = io.StringIO()
+    assert reprolint_run(tmp_path, ["src"], select=["lock-discipline"], out=out) == 1
+    assert "stale-baseline" in out.getvalue()
+    assert "Store.gone" in out.getvalue()
+
+
+def test_prune_baseline_drops_only_stale_entries(tmp_path):
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    (src_dir / "bad.py").write_text(textwrap.dedent(LOCKED_CLASS_BAD), encoding="utf-8")
+    baseline_file = tmp_path / "reprolint.baseline"
+    baseline_file.write_text(
+        "# accepted findings\n"
+        "\n"
+        "lock-discipline | src/bad.py | Store.put | demo fixture\n"
+        "lock-discipline | src/bad.py | Store.gone | method was deleted\n"
+        "lock-discipline | src/bad.py | Store.bump | demo fixture\n",
+        encoding="utf-8",
+    )
+    import io
+
+    out = io.StringIO()
+    assert reprolint_run(
+        tmp_path, ["src"], select=["lock-discipline"], prune=True, out=out
+    ) == 0
+    assert "pruned 1 stale" in out.getvalue()
+    assert baseline_file.read_text(encoding="utf-8") == (
+        "# accepted findings\n"
+        "\n"
+        "lock-discipline | src/bad.py | Store.put | demo fixture\n"
+        "lock-discipline | src/bad.py | Store.bump | demo fixture\n"
+    )
+
+    # A second prune is a no-op: nothing stale remains.
+    out = io.StringIO()
+    assert reprolint_run(
+        tmp_path, ["src"], select=["lock-discipline"], prune=True, out=out
+    ) == 0
+    assert "pruned" not in out.getvalue()
+
+
+def test_prune_baseline_does_not_mask_violations(tmp_path):
+    """--prune-baseline still exits 1 when unbaselined findings remain."""
+    src_dir = tmp_path / "src"
+    src_dir.mkdir()
+    (src_dir / "bad.py").write_text(textwrap.dedent(LOCKED_CLASS_BAD), encoding="utf-8")
+    baseline_file = tmp_path / "reprolint.baseline"
+    baseline_file.write_text(
+        "lock-discipline | src/bad.py | Store.gone | method was deleted\n",
+        encoding="utf-8",
+    )
+    import io
+
+    out = io.StringIO()
+    assert reprolint_run(
+        tmp_path, ["src"], select=["lock-discipline"], prune=True, out=out
+    ) == 1
+    assert "Store.put" in out.getvalue()
+    assert baseline_file.read_text(encoding="utf-8") == ""
 
 
 def test_repo_tree_is_clean_end_to_end():

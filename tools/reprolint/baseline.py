@@ -22,7 +22,7 @@ from pathlib import Path
 
 from reprolint.core import Violation
 
-__all__ = ["BaselineEntry", "Baseline", "load_baseline"]
+__all__ = ["BaselineEntry", "Baseline", "load_baseline", "prune_baseline"]
 
 DEFAULT_BASELINE_NAME = "reprolint.baseline"
 
@@ -92,3 +92,26 @@ def load_baseline(path: Path) -> Baseline:
 
 def format_entry(violation: Violation, justification: str = "TODO: justify") -> str:
     return f"{violation.rule} | {violation.path} | {violation.symbol} | {justification}"
+
+
+def prune_baseline(path: Path, baseline: Baseline) -> int:
+    """Rewrite the baseline dropping entries that no longer fire.
+
+    ``baseline`` must come from a completed lint run (its ``matches`` calls
+    record which entries still fire).  Comments, blank lines, and malformed
+    lines are preserved verbatim; only well-formed entries whose finding is
+    gone are removed.  Returns the number of dropped entries.
+    """
+    if not path.is_file():
+        return 0
+    stale_lines = {entry.line for entry in baseline.stale_entries()}
+    if not stale_lines:
+        return 0
+    kept = [
+        raw for lineno, raw in
+        enumerate(path.read_text(encoding="utf-8").splitlines(), 1)
+        if lineno not in stale_lines
+    ]
+    content = "\n".join(kept)
+    path.write_text(content + "\n" if content else "", encoding="utf-8")
+    return len(stale_lines)

@@ -5,6 +5,7 @@ from reprolint.checkers import (  # noqa: F401
     exception_hygiene,
     lock_discipline,
     materialization,
+    registry_drift,
     sim_determinism,
     snapshot_reads,
     thread_hygiene,

@@ -1,0 +1,240 @@
+"""registry-drift (RL9xx): observability names must exist in their registries.
+
+Three cross-module invariants the type system cannot see, each enforced by
+holding the *string literals* engine code emits to the corresponding
+registry module:
+
+* **RL901 (metric-drift)** — metric names passed to ``telemetry.add`` /
+  ``observe_max`` / ``gauge_add`` and to ``registry.counter`` / ``gauge`` /
+  ``histogram`` must be declared in the ``CATALOG`` of
+  ``src/repro/obs/metrics.py``.  An undeclared name silently creates a
+  dynamic instrument that never appears in ``docs/metrics_reference.md``.
+* **RL902 (fault-site-drift)** — injection-site strings passed to
+  ``perturb("...")`` must be registered in ``FAULT_SITES`` of
+  ``src/repro/faults/sites.py``.  A typo'd site never matches any
+  ``FaultSpec``, so the chaos scenario silently tests nothing.
+* **RL903 (span-drift)** — span names passed to ``tracer.span("...")``
+  must belong to the documented ``SPAN_TAXONOMY`` of
+  ``src/repro/obs/trace.py``.  Ad-hoc names fragment traces and drift from
+  ``docs/observability.md``.
+
+All three are project-scope and apply to ``src/`` only: tests deliberately
+invent ad-hoc counters, sites, and spans to exercise the dynamic paths.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from reprolint.core import (
+    Checker,
+    FileContext,
+    ProjectContext,
+    Violation,
+    iter_attr_chain,
+    register,
+)
+
+METRICS_MODULE = "src/repro/obs/metrics.py"
+SITES_MODULE = "src/repro/faults/sites.py"
+TRACE_MODULE = "src/repro/obs/trace.py"
+
+#: telemetry-facade methods whose first argument is a metric name.
+_TELEMETRY_METHODS = frozenset({"add", "observe_max", "gauge_add"})
+#: registry methods whose first argument is a metric name.
+_REGISTRY_METHODS = frozenset({"counter", "gauge", "histogram"})
+
+
+def _first_str_arg(call: ast.Call) -> str | None:
+    if call.args and isinstance(call.args[0], ast.Constant) \
+            and isinstance(call.args[0].value, str):
+        return call.args[0].value
+    return None
+
+
+def _receiver_parts(call: ast.Call) -> list[str]:
+    """Dotted receiver names of an attribute call (without the method)."""
+    if not isinstance(call.func, ast.Attribute):
+        return []
+    return list(iter_attr_chain(call.func.value))
+
+
+def _iter_source_files(project: ProjectContext,
+                       exclude: frozenset[str] = frozenset(),
+                       ) -> Iterator[FileContext]:
+    """Parsed ``src/`` files (tests are allowed ad-hoc names)."""
+    from reprolint.cli import relpath as _relpath
+
+    for path in project.files:
+        rel = _relpath(project.root, path)
+        if not rel.startswith("src/") or rel in exclude:
+            continue
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        ctx = FileContext(path, rel, source)
+        try:
+            ctx.tree
+        except SyntaxError:
+            continue  # the per-file pass already reports syntax errors
+        yield ctx
+
+
+def _registry_error(checker: Checker, module: str, what: str) -> Violation:
+    return Violation(
+        rule=checker.rule, code=checker.code, path=module,
+        line=1, col=0, symbol="<module>",
+        message=f"cannot extract {what} from {module}; "
+                "the registry moved or its declaration shape changed",
+    )
+
+
+def _spec_names(project: ProjectContext) -> set[str] | None:
+    """Declared metric names: first argument of every ``_spec(...)`` call."""
+    source = project.read(METRICS_MODULE)
+    if source is None:
+        return None
+    names: set[str] = set()
+    for node in ast.walk(ast.parse(source, filename=METRICS_MODULE)):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "_spec":
+            name = _first_str_arg(node)
+            if name is not None:
+                names.add(name)
+    return names or None
+
+
+def _dict_literal_keys(project: ProjectContext, module: str,
+                       variable: str) -> set[str] | None:
+    """String keys of a module-level ``variable = { ... }`` assignment."""
+    source = project.read(module)
+    if source is None:
+        return None
+    tree = ast.parse(source, filename=module)
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if not any(isinstance(t, ast.Name) and t.id == variable
+                   for t in targets):
+            continue
+        if isinstance(value, ast.Dict):
+            keys = {
+                key.value for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+            return keys or None
+    return None
+
+
+@register
+class MetricDriftChecker(Checker):
+    rule = "metric-drift"
+    code = "RL901"
+    description = (
+        "metric names emitted by engine code must be declared in the "
+        "obs CATALOG (src/repro/obs/metrics.py)"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        declared = _spec_names(project)
+        if declared is None:
+            yield _registry_error(self, METRICS_MODULE, "the metric CATALOG")
+            return
+        for ctx in _iter_source_files(project,
+                                      exclude=frozenset({METRICS_MODULE})):
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call) \
+                        or not isinstance(node.func, ast.Attribute):
+                    continue
+                method = node.func.attr
+                receiver = _receiver_parts(node)
+                if method in _TELEMETRY_METHODS:
+                    if not any("telemetry" in part for part in receiver):
+                        continue
+                elif method in _REGISTRY_METHODS:
+                    if not any("registry" in part or "metrics" in part
+                               for part in receiver):
+                        continue
+                else:
+                    continue
+                name = _first_str_arg(node)
+                if name is None or name in declared:
+                    continue
+                yield self.violation(
+                    ctx, node,
+                    f"metric {name!r} is not declared in the CATALOG of "
+                    f"{METRICS_MODULE}; add an InstrumentSpec (or fix the "
+                    "typo) so it appears in docs/metrics_reference.md",
+                )
+
+
+@register
+class FaultSiteDriftChecker(Checker):
+    rule = "fault-site-drift"
+    code = "RL902"
+    description = (
+        "fault-injection site strings passed to perturb() must be "
+        "registered in FAULT_SITES (src/repro/faults/sites.py)"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        declared = _dict_literal_keys(project, SITES_MODULE, "FAULT_SITES")
+        if declared is None:
+            yield _registry_error(self, SITES_MODULE, "FAULT_SITES")
+            return
+        for ctx in _iter_source_files(project):
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call) \
+                        or not isinstance(node.func, ast.Attribute) \
+                        or node.func.attr != "perturb":
+                    continue
+                site = _first_str_arg(node)
+                if site is None or site in declared:
+                    continue
+                yield self.violation(
+                    ctx, node,
+                    f"injection site {site!r} is not registered in "
+                    f"FAULT_SITES of {SITES_MODULE}; an undeclared site "
+                    "never matches a FaultSpec",
+                )
+
+
+@register
+class SpanDriftChecker(Checker):
+    rule = "span-drift"
+    code = "RL903"
+    description = (
+        "span names opened by tracer.span() must belong to the documented "
+        "SPAN_TAXONOMY (src/repro/obs/trace.py)"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        declared = _dict_literal_keys(project, TRACE_MODULE, "SPAN_TAXONOMY")
+        if declared is None:
+            yield _registry_error(self, TRACE_MODULE, "SPAN_TAXONOMY")
+            return
+        for ctx in _iter_source_files(project,
+                                      exclude=frozenset({TRACE_MODULE})):
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call) \
+                        or not isinstance(node.func, ast.Attribute) \
+                        or node.func.attr != "span":
+                    continue
+                name = _first_str_arg(node)
+                if name is None or name in declared:
+                    continue
+                yield self.violation(
+                    ctx, node,
+                    f"span name {name!r} is not in the SPAN_TAXONOMY of "
+                    f"{TRACE_MODULE}; ad-hoc span names fragment traces "
+                    "and drift from docs/observability.md",
+                )

@@ -17,7 +17,12 @@ import sys
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
-from reprolint.baseline import DEFAULT_BASELINE_NAME, format_entry, load_baseline
+from reprolint.baseline import (
+    DEFAULT_BASELINE_NAME,
+    format_entry,
+    load_baseline,
+    prune_baseline,
+)
 from reprolint.core import Checker, FileContext, ProjectContext, Violation, all_checkers
 
 EXCLUDED_DIR_NAMES = {
@@ -86,6 +91,7 @@ def run(
     select: list[str] | None = None,
     baseline_path: Path | None = None,
     jobs: int = 0,
+    prune: bool = False,
     out=sys.stdout,
 ) -> int:
     checkers = all_checkers()
@@ -123,9 +129,10 @@ def run(
         except (OSError, SyntaxError, ValueError) as exc:
             errors.append(f"{checker.rule}: project check failed: {exc}")
 
-    baseline = load_baseline(
+    resolved_baseline_path = (
         baseline_path if baseline_path is not None else root / DEFAULT_BASELINE_NAME
     )
+    baseline = load_baseline(resolved_baseline_path)
     errors.extend(baseline.errors)
 
     reported = [v for v in violations if not baseline.matches(v)]
@@ -136,7 +143,17 @@ def run(
     for violation in reported:
         print(violation.render(), file=out)
 
-    stale = baseline.stale_entries()
+    if prune:
+        dropped = prune_baseline(resolved_baseline_path, baseline)
+        if dropped:
+            print(
+                f"pruned {dropped} stale entr(y/ies) from "
+                f"{resolved_baseline_path.name}",
+                file=out,
+            )
+        stale = []
+    else:
+        stale = baseline.stale_entries()
     for entry in stale:
         print(
             f"stale-baseline: {DEFAULT_BASELINE_NAME}:{entry.line}: "
@@ -183,6 +200,9 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"baseline file (default: <root>/{DEFAULT_BASELINE_NAME})")
     parser.add_argument("--jobs", type=int, default=0,
                         help="analysis thread count (default: one per file, capped)")
+    parser.add_argument("--prune-baseline", action="store_true",
+                        help="rewrite the baseline file dropping entries "
+                             "that no longer fire")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the registered rules and exit")
     args = parser.parse_args(argv)
@@ -197,7 +217,8 @@ def main(argv: list[str] | None = None) -> int:
     select = [r.strip() for r in args.select.split(",") if r.strip()] or None
     baseline_path = Path(args.baseline) if args.baseline else None
     paths = args.paths or ["src", "tests"]
-    return run(root, paths, select=select, baseline_path=baseline_path, jobs=args.jobs)
+    return run(root, paths, select=select, baseline_path=baseline_path,
+               jobs=args.jobs, prune=args.prune_baseline)
 
 
 if __name__ == "__main__":  # pragma: no cover
