@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-faults lint lint-sql reprolint ruff mypy race docscheck all
+.PHONY: test test-faults lint lint-sql reprolint ruff mypy race docscheck bench-ml all
 
 all: lint test
 
@@ -51,3 +51,11 @@ test-faults:
 # documented examples cannot drift from the code they demonstrate.
 docscheck:
 	PYTHONPATH=src $(PYTHON) tools/docscheck.py
+
+# The ML ablations: incremental REFRESH MODEL vs full refit by delta size,
+# and the Figure 18 solver comparison through the unified fold kernel.
+# Each module drops BENCH_*.json datapoints under benchmarks/.traces/.
+bench-ml:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q \
+		benchmarks/bench_ablation_incremental.py \
+		benchmarks/bench_ablation_solvers.py

@@ -3,8 +3,10 @@ HPdregression / HPdcluster / HPdclassifier analogs."""
 
 from repro.algorithms.cv import CrossValidationResult, cv_hpdglm
 from repro.algorithms.families import Family, binomial, family_by_name, gaussian, poisson
+from repro.algorithms.fold import LocalArray, PartitionFold, SgdFold, fold_fit, sgd_fit
 from repro.algorithms.glm import GlmModel, hpdglm
 from repro.algorithms.kmeans import KMeansModel, assign_to_centers, hpdkmeans
+from repro.algorithms.mf import MfModel, hpdmf
 from repro.algorithms.metrics import (
     accuracy,
     confusion_matrix,
@@ -17,9 +19,11 @@ from repro.algorithms.graph import ConnectedComponentsResult, hpdconnectedcompon
 from repro.algorithms.naive_bayes import (
     NaiveBayesModel,
     hpdnaivebayes,
+    model_from_moments,
     register_naive_bayes_support,
 )
 from repro.algorithms.pagerank import PageRankResult, hpdpagerank
+from repro.algorithms.svm import SvmModel, hpdsvm
 from repro.algorithms.random_forest import (
     DecisionTree,
     RandomForestModel,
@@ -28,6 +32,11 @@ from repro.algorithms.random_forest import (
 )
 
 __all__ = [
+    "PartitionFold",
+    "SgdFold",
+    "fold_fit",
+    "sgd_fit",
+    "LocalArray",
     "hpdglm",
     "GlmModel",
     "cv_hpdglm",
@@ -35,6 +44,10 @@ __all__ = [
     "hpdkmeans",
     "KMeansModel",
     "assign_to_centers",
+    "hpdsvm",
+    "SvmModel",
+    "hpdmf",
+    "MfModel",
     "hpdrandomforest",
     "RandomForestModel",
     "DecisionTree",
@@ -45,6 +58,7 @@ __all__ = [
     "ConnectedComponentsResult",
     "hpdnaivebayes",
     "NaiveBayesModel",
+    "model_from_moments",
     "register_naive_bayes_support",
     "Family",
     "gaussian",

@@ -8,6 +8,13 @@ pass: every partition computes its contribution to the normal equations
 partials and solves a small ``p x p`` system.  Communication per iteration
 is O(p²), independent of the number of rows — which is why Figure 19's
 weak-scaling is flat.
+
+The iteration itself is expressed as a :class:`~repro.algorithms.fold.
+PartitionFold` (:class:`_GlmNewtonFold`) and executed by the shared
+:func:`~repro.algorithms.fold.fold_fit` driver; for the gaussian family the
+fit also records additive sufficient statistics (``X'X``, ``X'y``, response
+moments) so ``REFRESH MODEL`` can fold new epochs in without rereading old
+rows.
 """
 
 from __future__ import annotations
@@ -17,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.algorithms.families import Family, family_by_name
+from repro.algorithms.fold import fold_fit
 from repro.dr.darray import DArray
 from repro.errors import ModelError
 
@@ -38,6 +46,9 @@ class GlmModel:
     n_observations: int
     feature_names: list[str] = field(default_factory=list)
     standard_errors: np.ndarray | None = None
+    # Additive sufficient statistics ({"xtx", "xty", "moments"}) captured for
+    # the gaussian family only; they make incremental refresh exact.
+    sufficient_stats: dict | None = field(default=None, repr=False, compare=False)
 
     model_type = "glm"
 
@@ -116,6 +127,96 @@ class GlmModel:
         return "\n".join(lines)
 
 
+@dataclass
+class _GlmFoldState:
+    """Mutable state the Newton fold threads through ``fold_fit``."""
+
+    beta: np.ndarray
+    deviance: float = np.inf
+    iterations: int = 0
+    converged: bool = False
+    xtwx: np.ndarray | None = None    # ridged normal matrix of the last step
+    gram: np.ndarray | None = None    # unridged X'WX of the last step
+    moment: np.ndarray | None = None  # X'Wz of the last step
+
+
+class _GlmNewtonFold:
+    """IRLS/Newton-Raphson expressed in the partition-fold contract.
+
+    ``partial`` is the per-partition pass the pre-refactor code installed
+    via ``map_partitions`` (same math, same clipping); ``step`` is the
+    master-side ``p x p`` solve.
+    """
+
+    solver = "glm.newton"
+
+    def __init__(self, beta0: np.ndarray, family: Family, intercept: bool,
+                 p: int, ridge: float, tolerance: float,
+                 trace: list | None) -> None:
+        self._beta0 = beta0
+        self.family = family
+        self.intercept = intercept
+        self.p = p
+        self.ridge = ridge
+        self.tolerance = tolerance
+        self.trace = trace
+
+    def init_state(self) -> _GlmFoldState:
+        return _GlmFoldState(beta=self._beta0)
+
+    def partial(self, state: _GlmFoldState, index: int, x_part: np.ndarray,
+                y_part: np.ndarray):
+        """(X'WX, X'Wz, deviance) of one partition at the current beta."""
+        family = self.family
+        y = np.asarray(y_part, dtype=np.float64).ravel()
+        x = np.asarray(x_part, dtype=np.float64)
+        if self.intercept:
+            x = np.column_stack([np.ones(len(x)), x])
+        if len(x) == 0:
+            p = x.shape[1]
+            return np.zeros((p, p)), np.zeros(p), 0.0
+        eta = x @ state.beta
+        mu = family.inverse_link(eta)
+        dmu = family.mean_derivative(eta)
+        variance = family.variance(mu)
+        weights = np.clip(dmu * dmu / variance, 1e-12, None)
+        working = eta + (y - mu) / np.clip(dmu, 1e-12, None)
+        weighted_x = x * weights[:, None]
+        xtwx = x.T @ weighted_x
+        xtwz = weighted_x.T @ working
+        deviance = float(np.sum(family.deviance(y, mu)))
+        return xtwx, xtwz, deviance
+
+    def merge(self, partials: list):
+        xtwx = np.sum([part[0] for part in partials], axis=0)
+        xtwz = np.sum([part[1] for part in partials], axis=0)
+        new_deviance = float(np.sum([part[2] for part in partials]))
+        return xtwx, xtwz, new_deviance
+
+    def step(self, state: _GlmFoldState, merged, iteration: int) -> _GlmFoldState:
+        gram, xtwz, new_deviance = merged
+        xtwx = gram + self.ridge * np.eye(self.p) if self.ridge else gram
+        try:
+            new_beta = np.linalg.solve(xtwx, xtwz)
+        except np.linalg.LinAlgError:
+            new_beta = np.linalg.lstsq(xtwx, xtwz, rcond=None)[0]
+        if self.trace is not None:
+            self.trace.append((new_deviance, new_beta.copy()))
+        relative_change = abs(new_deviance - state.deviance) / (abs(new_deviance) + 0.1)
+        state.beta = new_beta
+        state.deviance = new_deviance
+        state.iterations = iteration
+        state.xtwx = xtwx
+        state.gram = gram
+        state.moment = xtwz
+        if relative_change < self.tolerance:
+            state.converged = True
+        return state
+
+    def converged(self, state: _GlmFoldState) -> bool:
+        return state.converged
+
+
 def hpdglm(
     responses: DArray,
     features: DArray,
@@ -168,76 +269,53 @@ def hpdglm(
 
     null_deviance = _total_deviance(responses, features, family, _null_mu(family, mean_response))
 
-    deviance = np.inf
-    converged = False
-    iterations = 0
-    xtwx = np.zeros((p, p))
-    for iteration in range(1, max_iterations + 1):
-        iterations = iteration
-        partials = features.map_partitions(
-            _make_irls_step(beta, family, intercept), responses
-        )
-        xtwx = np.sum([part[0] for part in partials], axis=0)
-        xtwz = np.sum([part[1] for part in partials], axis=0)
-        new_deviance = float(np.sum([part[2] for part in partials]))
-        if ridge:
-            xtwx = xtwx + ridge * np.eye(p)
-        try:
-            new_beta = np.linalg.solve(xtwx, xtwz)
-        except np.linalg.LinAlgError:
-            new_beta = np.linalg.lstsq(xtwx, xtwz, rcond=None)[0]
-        if trace is not None:
-            trace.append((new_deviance, new_beta.copy()))
-        relative_change = abs(new_deviance - deviance) / (abs(new_deviance) + 0.1)
-        beta = new_beta
-        deviance = new_deviance
-        if relative_change < tolerance:
-            converged = True
-            break
+    fold = _GlmNewtonFold(beta, family, intercept, p, ridge, tolerance, trace)
+    state = fold_fit(features, fold, responses, max_iterations=max_iterations)
 
-    standard_errors = _standard_errors(xtwx, family, deviance, n_total, p)
-    return GlmModel(
-        coefficients=beta,
+    standard_errors = _standard_errors(state.xtwx, family, state.deviance,
+                                       n_total, p)
+    model = GlmModel(
+        coefficients=state.beta,
         family=family.name,
         link=family.link_name,
         intercept=intercept,
-        iterations=iterations,
-        deviance=deviance,
+        iterations=state.iterations,
+        deviance=state.deviance,
         null_deviance=null_deviance,
-        converged=converged,
+        converged=state.converged,
         n_observations=n_total,
         feature_names=list(feature_names or []),
         standard_errors=standard_errors,
     )
+    if family.name == "gaussian":
+        # With identity link and unit weights the last step's X'WX / X'Wz are
+        # exactly X'X / X'y, so together with the response moments they are a
+        # complete additive summary of the training data.
+        model.sufficient_stats = {
+            "xtx": state.gram,
+            "xty": state.moment,
+            "moments": np.asarray(_response_moments(responses), dtype=np.float64),
+        }
+    return model
 
 
-def _make_irls_step(beta: np.ndarray, family: Family, intercept: bool):
-    """Partition task computing (X'WX, X'Wz, deviance) at the current beta."""
-
-    def step(index: int, x_part: np.ndarray, y_part: np.ndarray):
-        y = np.asarray(y_part, dtype=np.float64).ravel()
-        x = np.asarray(x_part, dtype=np.float64)
-        if intercept:
-            x = np.column_stack([np.ones(len(x)), x])
-        if len(x) == 0:
-            p = x.shape[1]
-            return np.zeros((p, p)), np.zeros(p), 0.0
-        eta = x @ beta
-        mu = family.inverse_link(eta)
-        dmu = family.mean_derivative(eta)
-        variance = family.variance(mu)
-        weights = np.clip(dmu * dmu / variance, 1e-12, None)
-        working = eta + (y - mu) / np.clip(dmu, 1e-12, None)
-        weighted_x = x * weights[:, None]
-        xtwx = x.T @ weighted_x
-        xtwz = weighted_x.T @ working
-        deviance = float(np.sum(family.deviance(y, mu)))
-        return xtwx, xtwz, deviance
-
-    return step
+def _response_moments(responses) -> tuple[float, float, float]:
+    """(n, sum(y), sum(y²)) over a partitioned response vector."""
+    partials = responses.map_partitions(
+        lambda i, part: (
+            len(part),
+            float(np.sum(part)),
+            float(np.sum(np.square(np.asarray(part, dtype=np.float64)))),
+        )
+    )
+    return (
+        float(sum(p[0] for p in partials)),
+        float(sum(p[1] for p in partials)),
+        float(sum(p[2] for p in partials)),
+    )
 
 
-def _distributed_mean(responses: DArray) -> float:
+def _distributed_mean(responses) -> float:
     partials = responses.map_partitions(
         lambda i, part: (float(np.sum(part)), len(part))
     )
@@ -254,7 +332,7 @@ def _null_mu(family: Family, mean_response: float) -> float:
     return mean_response
 
 
-def _total_deviance(responses: DArray, features: DArray, family: Family,
+def _total_deviance(responses, features, family: Family,
                     mu_scalar: float) -> float:
     partials = responses.map_partitions(
         lambda i, part: float(np.sum(family.deviance(

@@ -6,14 +6,19 @@ and returns partial sums, counts, and its share of the within-cluster sum of
 squares; the master averages.  Communication per iteration is O(K·d),
 independent of the row count — the same structure MLlib's K-means uses,
 which is what makes Figure 20 an apples-to-apples comparison.
+
+The Lloyd iteration is expressed as a :class:`~repro.algorithms.fold.
+PartitionFold` (:class:`_LloydFold`) executed by the shared
+:func:`~repro.algorithms.fold.fold_fit` driver.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.algorithms.fold import fold_fit
 from repro.dr.darray import DArray
 from repro.errors import ModelError
 
@@ -124,6 +129,79 @@ def _kmeanspp(data: DArray, k: int, rng: np.random.Generator) -> np.ndarray:
     return np.asarray(centers, dtype=np.float64)
 
 
+@dataclass
+class _LloydFoldState:
+    """Mutable state the Lloyd fold threads through ``fold_fit``."""
+
+    centers: np.ndarray
+    inertia: float = np.inf
+    iterations: int = 0
+    converged: bool = False
+    counts: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+
+class _LloydFold:
+    """One Lloyd step expressed in the partition-fold contract."""
+
+    solver = "kmeans.lloyd"
+
+    def __init__(self, k: int, tolerance: float, iteration_callback) -> None:
+        self.k = k
+        self.tolerance = tolerance
+        self.iteration_callback = iteration_callback
+        self._centers0: np.ndarray | None = None
+
+    def with_centers(self, centers: np.ndarray) -> "_LloydFold":
+        self._centers0 = centers
+        return self
+
+    def init_state(self) -> _LloydFoldState:
+        return _LloydFoldState(centers=self._centers0,
+                               counts=np.zeros(self.k, dtype=np.int64))
+
+    def partial(self, state: _LloydFoldState, index: int, part: np.ndarray):
+        """(per-center sums, counts, partial inertia) at the current centers."""
+        current = state.centers
+        k = self.k
+        points = np.asarray(part, dtype=np.float64)
+        if len(points) == 0:
+            d = current.shape[1]
+            return np.zeros((k, d)), np.zeros(k, dtype=np.int64), 0.0
+        labels, distances = assign_to_centers(points, current)
+        sums = np.zeros((k, points.shape[1]))
+        np.add.at(sums, labels, points)
+        partition_counts = np.bincount(labels, minlength=k)
+        return sums, partition_counts, float(distances.sum())
+
+    def merge(self, partials: list):
+        sums = np.sum([part[0] for part in partials], axis=0)
+        counts = np.sum([part[1] for part in partials], axis=0)
+        new_inertia = float(np.sum([part[2] for part in partials]))
+        return sums, counts, new_inertia
+
+    def step(self, state: _LloydFoldState, merged, iteration: int) -> _LloydFoldState:
+        sums, counts, new_inertia = merged
+        centers = state.centers
+        new_centers = centers.copy()
+        non_empty = counts > 0
+        new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
+        # Empty clusters keep their previous center (R's kmeans warns and
+        # continues; reseeding would break determinism).
+        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
+        state.centers = new_centers
+        if self.iteration_callback is not None:
+            self.iteration_callback(iteration, new_inertia)
+        state.inertia = new_inertia
+        state.iterations = iteration
+        state.counts = counts
+        if shift <= self.tolerance:
+            state.converged = True
+        return state
+
+    def converged(self, state: _LloydFoldState) -> bool:
+        return state.converged
+
+
 def hpdkmeans(
     data: DArray,
     k: int,
@@ -155,50 +233,14 @@ def hpdkmeans(
         centers = _init_centers(data, k, init, rng)
 
     n_total = data.nrow
-    inertia = np.inf
-    converged = False
-    iterations = 0
-    counts = np.zeros(k, dtype=np.int64)
-    for iteration in range(1, max_iterations + 1):
-        iterations = iteration
-        current = centers
-
-        def lloyd_step(index: int, part: np.ndarray):
-            points = np.asarray(part, dtype=np.float64)
-            if len(points) == 0:
-                d = current.shape[1]
-                return np.zeros((k, d)), np.zeros(k, dtype=np.int64), 0.0
-            labels, distances = assign_to_centers(points, current)
-            sums = np.zeros((k, points.shape[1]))
-            np.add.at(sums, labels, points)
-            partition_counts = np.bincount(labels, minlength=k)
-            return sums, partition_counts, float(distances.sum())
-
-        partials = data.map_partitions(lloyd_step)
-        sums = np.sum([part[0] for part in partials], axis=0)
-        counts = np.sum([part[1] for part in partials], axis=0)
-        new_inertia = float(np.sum([part[2] for part in partials]))
-
-        new_centers = centers.copy()
-        non_empty = counts > 0
-        new_centers[non_empty] = sums[non_empty] / counts[non_empty, None]
-        # Empty clusters keep their previous center (R's kmeans warns and
-        # continues; reseeding would break determinism).
-
-        shift = float(np.max(np.linalg.norm(new_centers - centers, axis=1)))
-        centers = new_centers
-        if iteration_callback is not None:
-            iteration_callback(iteration, new_inertia)
-        inertia = new_inertia
-        if shift <= tolerance:
-            converged = True
-            break
+    fold = _LloydFold(k, tolerance, iteration_callback).with_centers(centers)
+    state = fold_fit(data, fold, max_iterations=max_iterations)
 
     return KMeansModel(
-        centers=centers,
-        inertia=inertia,
-        iterations=iterations,
-        converged=converged,
+        centers=state.centers,
+        inertia=state.inertia,
+        iterations=state.iterations,
+        converged=state.converged,
         n_observations=n_total,
-        cluster_sizes=np.asarray(counts, dtype=np.int64),
+        cluster_sizes=np.asarray(state.counts, dtype=np.int64),
     )

@@ -1,0 +1,233 @@
+"""``hpdmf``: distributed low-rank matrix factorization via mini-batch SGD.
+
+The second family Bismarck's unified architecture makes cheap: factor a
+sparse ratings matrix ``R ≈ U·Vᵀ`` by stochastic gradient descent on the
+L2-regularized squared error.  Input is the standard sparse triple layout —
+an n x 3 array of ``(user, item, rating)`` rows — so the same row-partitioned
+darray machinery every other solver uses carries the ratings; each partition
+is one mini-batch under the shuffle-once
+:func:`~repro.algorithms.fold.sgd_fit` driver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.algorithms.fold import sgd_fit
+from repro.dr.darray import DArray
+from repro.errors import ModelError
+
+__all__ = ["MfModel", "hpdmf"]
+
+
+@dataclass
+class MfModel:
+    """A fitted factorization: per-user and per-item latent factors."""
+
+    user_factors: np.ndarray      # (n_users, rank)
+    item_factors: np.ndarray      # (n_items, rank)
+    rank: int
+    regularization: float
+    iterations: int               # epochs actually run
+    converged: bool
+    n_observations: int
+    train_rmse: float
+
+    model_type = "mf"
+
+    @property
+    def n_users(self) -> int:
+        return len(self.user_factors)
+
+    @property
+    def n_items(self) -> int:
+        return len(self.item_factors)
+
+    def predict(self, pairs: np.ndarray) -> np.ndarray:
+        """Predicted ratings for an (n, 2) array of ``(user, item)`` pairs."""
+        pairs = np.asarray(pairs)
+        if pairs.ndim == 1:
+            pairs = pairs.reshape(-1, 2)
+        if pairs.shape[1] != 2:
+            raise ModelError(
+                f"mf prediction input must be (user, item) pairs, "
+                f"got {pairs.shape[1]} columns"
+            )
+        users = pairs[:, 0].astype(np.int64)
+        items = pairs[:, 1].astype(np.int64)
+        if len(users) and (users.min() < 0 or users.max() >= self.n_users):
+            raise ModelError(
+                f"user ids must lie in [0, {self.n_users}), found "
+                f"[{users.min()}, {users.max()}]"
+            )
+        if len(items) and (items.min() < 0 or items.max() >= self.n_items):
+            raise ModelError(
+                f"item ids must lie in [0, {self.n_items}), found "
+                f"[{items.min()}, {items.max()}]"
+            )
+        return np.einsum(
+            "ij,ij->i", self.user_factors[users], self.item_factors[items])
+
+
+@dataclass
+class _MfFoldState:
+    """Mutable state the factorization SGD threads through ``sgd_fit``."""
+
+    user_factors: np.ndarray
+    item_factors: np.ndarray
+    rmse: float = np.inf
+    iterations: int = 0
+    converged: bool = False
+
+
+class _MfSgdFold:
+    """L2-regularized squared error on rating triples, mini-batch SGD."""
+
+    solver = "mf.sgd"
+
+    def __init__(self, data, n_users: int, n_items: int, rank: int,
+                 regularization: float, learning_rate: float,
+                 tolerance: float, seed: int) -> None:
+        self.data = data  # needed by epoch_end for the RMSE probe
+        self.n_users = n_users
+        self.n_items = n_items
+        self.rank = rank
+        self.regularization = regularization
+        self.learning_rate = learning_rate
+        self.tolerance = tolerance
+        self.seed = seed
+
+    def init_state(self) -> _MfFoldState:
+        rng = np.random.default_rng(self.seed)
+        scale = 1.0 / np.sqrt(self.rank)
+        return _MfFoldState(
+            user_factors=rng.standard_normal((self.n_users, self.rank)) * scale,
+            item_factors=rng.standard_normal((self.n_items, self.rank)) * scale,
+        )
+
+    def _split(self, batch: np.ndarray):
+        users = batch[:, 0].astype(np.int64)
+        items = batch[:, 1].astype(np.int64)
+        if len(users) and (users.min() < 0 or users.max() >= self.n_users):
+            raise ModelError(
+                f"user ids must lie in [0, {self.n_users}), found "
+                f"[{users.min()}, {users.max()}]"
+            )
+        if len(items) and (items.min() < 0 or items.max() >= self.n_items):
+            raise ModelError(
+                f"item ids must lie in [0, {self.n_items}), found "
+                f"[{items.min()}, {items.max()}]"
+            )
+        return users, items, batch[:, 2].astype(np.float64)
+
+    def gradient(self, state: _MfFoldState, index: int, batch: np.ndarray):
+        """Averaged factor gradients of one mini-batch of triples."""
+        if len(batch) == 0:
+            return None
+        users, items, ratings = self._split(batch)
+        u_rows = state.user_factors[users]
+        v_rows = state.item_factors[items]
+        errors = ratings - np.einsum("ij,ij->i", u_rows, v_rows)
+        grad_u = np.zeros_like(state.user_factors)
+        grad_v = np.zeros_like(state.item_factors)
+        np.add.at(grad_u, users, -errors[:, None] * v_rows
+                  + self.regularization * u_rows)
+        np.add.at(grad_v, items, -errors[:, None] * u_rows
+                  + self.regularization * v_rows)
+        return grad_u / len(batch), grad_v / len(batch)
+
+    def apply(self, state: _MfFoldState, gradient, step_index: int
+              ) -> _MfFoldState:
+        if gradient is None:
+            return state
+        grad_u, grad_v = gradient
+        rate = self.learning_rate / (
+            1.0 + self.learning_rate * self.regularization * step_index)
+        state.user_factors = state.user_factors - rate * grad_u
+        state.item_factors = state.item_factors - rate * grad_v
+        return state
+
+    def epoch_end(self, state: _MfFoldState, epoch: int) -> _MfFoldState:
+        u, v = state.user_factors, state.item_factors
+
+        def squared_error(index: int, part: np.ndarray):
+            batch = np.asarray(part, dtype=np.float64)
+            if len(batch) == 0:
+                return 0.0, 0
+            users, items, ratings = self._split(batch)
+            errors = ratings - np.einsum("ij,ij->i", u[users], v[items])
+            return float(np.sum(errors * errors)), len(batch)
+
+        partials = self.data.map_partitions(squared_error)
+        sse = sum(p[0] for p in partials)
+        count = sum(p[1] for p in partials)
+        new_rmse = float(np.sqrt(sse / count))
+        improvement = state.rmse - new_rmse
+        state.rmse = new_rmse
+        state.iterations = epoch
+        if 0.0 <= improvement <= self.tolerance:
+            state.converged = True
+        return state
+
+    def converged(self, state: _MfFoldState) -> bool:
+        return state.converged
+
+
+def hpdmf(
+    ratings: DArray,
+    rank: int = 8,
+    regularization: float = 0.01,
+    epochs: int = 100,
+    learning_rate: float = 1.0,
+    tolerance: float = 1e-4,
+    seed: int = 0,
+    n_users: int | None = None,
+    n_items: int | None = None,
+) -> MfModel:
+    """Factor a distributed ``(user, item, rating)`` triple array.
+
+    User and item ids are dense 0-based integers; the id spaces are inferred
+    from the data unless ``n_users`` / ``n_items`` pin them (pass them when
+    refreshing so ids unseen at first training still fit).  Deterministic
+    for a fixed ``seed``: factor initialization and the driver's
+    shuffle-once visit order both derive from it.
+    """
+    if rank < 1:
+        raise ModelError("rank must be >= 1")
+    if ratings.ncol != 3:
+        raise ModelError(
+            f"ratings must be (user, item, rating) triples, got "
+            f"{ratings.ncol} columns"
+        )
+    n_total = ratings.nrow
+    if n_total == 0:
+        raise ModelError("cannot factor zero ratings")
+    if n_users is None or n_items is None:
+        maxima = ratings.map_partitions(
+            lambda i, part: (
+                (int(np.max(part[:, 0])), int(np.max(part[:, 1])))
+                if len(part) else (-1, -1)
+            )
+        )
+        if n_users is None:
+            n_users = max(m[0] for m in maxima) + 1
+        if n_items is None:
+            n_items = max(m[1] for m in maxima) + 1
+    if n_users < 1 or n_items < 1:
+        raise ModelError("need at least one user and one item")
+
+    fold = _MfSgdFold(ratings, n_users, n_items, rank, regularization,
+                      learning_rate, tolerance, seed)
+    state = sgd_fit(ratings, fold, epochs=epochs, seed=seed)
+    return MfModel(
+        user_factors=state.user_factors,
+        item_factors=state.item_factors,
+        rank=rank,
+        regularization=regularization,
+        iterations=state.iterations,
+        converged=state.converged,
+        n_observations=n_total,
+        train_rmse=state.rmse,
+    )

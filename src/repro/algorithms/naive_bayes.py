@@ -5,18 +5,27 @@ sums of squares; the master combines them into class priors and per-feature
 Gaussian parameters.  It doubles as the reference *custom model* for the §5
 extension point — :func:`register_naive_bayes_support` registers its codec
 and prediction UDF through the same public APIs a user would call.
+
+The single pass is a one-iteration :class:`~repro.algorithms.fold.
+PartitionFold` (:class:`_NaiveBayesFold`) under the shared
+:func:`~repro.algorithms.fold.fold_fit` driver, and the fitted model keeps
+its additive ``(counts, sums, squares)`` sufficient statistics so
+``REFRESH MODEL`` can fold new epochs in exactly (the variance floor makes
+the fitted parameters themselves non-invertible back to the sums).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.algorithms.fold import fold_fit
 from repro.dr.darray import DArray
 from repro.errors import ModelError
 
-__all__ = ["NaiveBayesModel", "hpdnaivebayes", "register_naive_bayes_support"]
+__all__ = ["NaiveBayesModel", "hpdnaivebayes", "model_from_moments",
+           "register_naive_bayes_support"]
 
 _VARIANCE_FLOOR = 1e-9
 
@@ -29,6 +38,9 @@ class NaiveBayesModel:
     means: np.ndarray              # (k, d)
     variances: np.ndarray          # (k, d)
     n_observations: int
+    # Additive sufficient statistics ({"counts", "sums", "squares"}); kept so
+    # incremental refresh can extend the fit without the original rows.
+    sufficient_stats: dict | None = field(default=None, repr=False, compare=False)
 
     model_type = "naivebayes"
 
@@ -69,6 +81,74 @@ class NaiveBayesModel:
         return likelihood / likelihood.sum(axis=1, keepdims=True)
 
 
+class _NaiveBayesFold:
+    """The one-pass moment collection in the partition-fold contract."""
+
+    solver = "naivebayes.moments"
+
+    def __init__(self, n_classes: int, d: int) -> None:
+        self.n_classes = n_classes
+        self.d = d
+
+    def init_state(self):
+        return None
+
+    def partial(self, state, index: int, x_part: np.ndarray,
+                y_part: np.ndarray):
+        """Per-class (counts, sums, sums of squares) of one partition."""
+        n_classes, d = self.n_classes, self.d
+        x = np.asarray(x_part, dtype=np.float64)
+        y = np.asarray(y_part).ravel().astype(np.int64)
+        if len(y) and (y.min() < 0 or y.max() >= n_classes):
+            raise ModelError(
+                f"labels must lie in [0, {n_classes}), found "
+                f"[{y.min()}, {y.max()}]"
+            )
+        counts = np.bincount(y, minlength=n_classes).astype(np.float64)
+        sums = np.zeros((n_classes, d))
+        squares = np.zeros((n_classes, d))
+        np.add.at(sums, y, x)
+        np.add.at(squares, y, x * x)
+        return counts, sums, squares
+
+    def merge(self, partials: list):
+        counts = np.sum([r[0] for r in partials], axis=0)
+        sums = np.sum([r[1] for r in partials], axis=0)
+        squares = np.sum([r[2] for r in partials], axis=0)
+        return counts, sums, squares
+
+    def step(self, state, merged, iteration: int):
+        return merged
+
+    def converged(self, state) -> bool:
+        return True
+
+
+def model_from_moments(counts: np.ndarray, sums: np.ndarray,
+                       squares: np.ndarray) -> NaiveBayesModel:
+    """Build a :class:`NaiveBayesModel` from additive class moments.
+
+    Shared by the initial fit and by incremental refresh (which adds the
+    delta rows' moments to the stored sufficient statistics and re-derives
+    the parameters).
+    """
+    counts = np.asarray(counts, dtype=np.float64)
+    total = counts.sum()
+    if (counts == 0).any():
+        empty = np.flatnonzero(counts == 0).tolist()
+        raise ModelError(f"classes {empty} have no training rows")
+    means = sums / counts[:, None]
+    variances = np.maximum(
+        squares / counts[:, None] - means * means, _VARIANCE_FLOOR)
+    return NaiveBayesModel(
+        class_log_priors=np.log(counts / total),
+        means=means,
+        variances=variances,
+        n_observations=int(total),
+        sufficient_stats={"counts": counts, "sums": sums, "squares": squares},
+    )
+
+
 def hpdnaivebayes(responses: DArray, features: DArray,
                   n_classes: int | None = None) -> NaiveBayesModel:
     """Fit Gaussian naive Bayes in one distributed pass.
@@ -84,40 +164,10 @@ def hpdnaivebayes(responses: DArray, features: DArray,
         n_classes = max(maxima) + 1
     if n_classes < 2:
         raise ModelError(f"need at least 2 classes, inferred {n_classes}")
-    d = features.ncol
 
-    def partials(index: int, x_part: np.ndarray, y_part: np.ndarray):
-        x = np.asarray(x_part, dtype=np.float64)
-        y = np.asarray(y_part).ravel().astype(np.int64)
-        if len(y) and (y.min() < 0 or y.max() >= n_classes):
-            raise ModelError(
-                f"labels must lie in [0, {n_classes}), found "
-                f"[{y.min()}, {y.max()}]"
-            )
-        counts = np.bincount(y, minlength=n_classes).astype(np.float64)
-        sums = np.zeros((n_classes, d))
-        squares = np.zeros((n_classes, d))
-        np.add.at(sums, y, x)
-        np.add.at(squares, y, x * x)
-        return counts, sums, squares
-
-    results = features.map_partitions(partials, responses)
-    counts = np.sum([r[0] for r in results], axis=0)
-    sums = np.sum([r[1] for r in results], axis=0)
-    squares = np.sum([r[2] for r in results], axis=0)
-    total = counts.sum()
-    if (counts == 0).any():
-        empty = np.flatnonzero(counts == 0).tolist()
-        raise ModelError(f"classes {empty} have no training rows")
-    means = sums / counts[:, None]
-    variances = np.maximum(
-        squares / counts[:, None] - means * means, _VARIANCE_FLOOR)
-    return NaiveBayesModel(
-        class_log_priors=np.log(counts / total),
-        means=means,
-        variances=variances,
-        n_observations=int(total),
-    )
+    fold = _NaiveBayesFold(n_classes, features.ncol)
+    counts, sums, squares = fold_fit(features, fold, responses)
+    return model_from_moments(counts, sums, squares)
 
 
 def register_naive_bayes_support(cluster) -> None:
@@ -128,23 +178,26 @@ def register_naive_bayes_support(cluster) -> None:
     :func:`repro.deploy.make_prediction_function`.
     """
     from repro.deploy import make_prediction_function, register_model_codec
+    from repro.deploy.serialize import pack_sufficient_stats, unpack_sufficient_stats
     from repro.storage.encoding import SqlType
 
-    register_model_codec(
-        "naivebayes",
-        NaiveBayesModel,
-        lambda m: (
-            {"n_observations": m.n_observations},
-            {"log_priors": m.class_log_priors, "means": m.means,
-             "variances": m.variances},
-        ),
-        lambda meta, arrays: NaiveBayesModel(
+    def to_state(m: NaiveBayesModel):
+        metadata = {"n_observations": m.n_observations}
+        arrays = {"log_priors": m.class_log_priors, "means": m.means,
+                  "variances": m.variances}
+        pack_sufficient_stats(arrays, metadata, m.sufficient_stats)
+        return metadata, arrays
+
+    def from_state(meta, arrays):
+        return NaiveBayesModel(
             class_log_priors=arrays["log_priors"],
             means=arrays["means"],
             variances=arrays["variances"],
             n_observations=meta["n_observations"],
-        ),
-    )
+            sufficient_stats=unpack_sufficient_stats(meta, arrays),
+        )
+
+    register_model_codec("naivebayes", NaiveBayesModel, to_state, from_state)
     cluster.register_udtf(
         make_prediction_function(
             "nbPredict", "naivebayes",

@@ -1,0 +1,182 @@
+"""``hpdsvm``: distributed linear SVM via mini-batch subgradient descent.
+
+Bismarck's observation ("Towards a Unified Architecture for in-RDBMS
+Analytics") is that once the solver loop is a partition fold, adding a new
+convex model is just a new gradient: the L2-regularized hinge loss here
+trains through the same :func:`~repro.algorithms.fold.sgd_fit` driver the
+matrix-factorization family uses — each partition is one mini-batch,
+visited in a shuffle-once order so runs are deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.algorithms.fold import sgd_fit
+from repro.dr.darray import DArray
+from repro.errors import ModelError
+
+__all__ = ["SvmModel", "hpdsvm"]
+
+
+@dataclass
+class SvmModel:
+    """A fitted linear SVM: separating hyperplane plus fit statistics."""
+
+    weights: np.ndarray           # (p,)
+    bias: float
+    regularization: float
+    iterations: int               # epochs actually run
+    converged: bool
+    n_observations: int
+    feature_names: list[str] = field(default_factory=list)
+
+    model_type = "svm"
+
+    @property
+    def n_features(self) -> int:
+        return len(self.weights)
+
+    def decision_function(self, features: np.ndarray) -> np.ndarray:
+        """Signed distance-like margin ``x·w + b`` per row."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim == 1:
+            features = features.reshape(-1, 1)
+        if features.shape[1] != self.n_features:
+            raise ModelError(
+                f"model expects {self.n_features} features, got {features.shape[1]}"
+            )
+        return features @ self.weights + self.bias
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """0/1 class labels (1 where the margin is non-negative)."""
+        return (self.decision_function(features) >= 0.0).astype(np.int64)
+
+
+@dataclass
+class _SvmFoldState:
+    """Mutable state the hinge-loss SGD threads through ``sgd_fit``."""
+
+    weights: np.ndarray
+    bias: float = 0.0
+    iterations: int = 0
+    converged: bool = False
+    shift: float = np.inf
+    _epoch_weights: np.ndarray | None = None
+    _epoch_bias: float = 0.0
+
+
+class _SvmSgdFold:
+    """L2-regularized hinge loss in the mini-batch SGD contract."""
+
+    solver = "svm.sgd"
+
+    def __init__(self, p: int, regularization: float, learning_rate: float,
+                 tolerance: float) -> None:
+        self.p = p
+        self.regularization = regularization
+        self.learning_rate = learning_rate
+        self.tolerance = tolerance
+
+    def init_state(self) -> _SvmFoldState:
+        weights = np.zeros(self.p, dtype=np.float64)
+        return _SvmFoldState(weights=weights, _epoch_weights=weights.copy())
+
+    def gradient(self, state: _SvmFoldState, index: int, x_part: np.ndarray,
+                 y_part: np.ndarray):
+        """Averaged hinge subgradient of one mini-batch at the current state."""
+        x = np.asarray(x_part, dtype=np.float64)
+        if len(x) == 0:
+            return np.zeros(self.p), 0.0
+        y = _signed_labels(y_part)
+        margins = y * (x @ state.weights + state.bias)
+        violating = margins < 1.0
+        grad_w = self.regularization * state.weights
+        grad_b = 0.0
+        if violating.any():
+            grad_w = grad_w - (x[violating] * y[violating, None]).sum(axis=0) / len(x)
+            grad_b = -float(y[violating].sum()) / len(x)
+        return grad_w, grad_b
+
+    def apply(self, state: _SvmFoldState, gradient, step_index: int
+              ) -> _SvmFoldState:
+        grad_w, grad_b = gradient
+        # Pegasos-style 1/t decay keyed off the regularization strength.
+        rate = self.learning_rate / (
+            1.0 + self.learning_rate * self.regularization * step_index)
+        state.weights = state.weights - rate * grad_w
+        state.bias = state.bias - rate * grad_b
+        return state
+
+    def epoch_end(self, state: _SvmFoldState, epoch: int) -> _SvmFoldState:
+        state.shift = float(
+            np.linalg.norm(state.weights - state._epoch_weights)
+            + abs(state.bias - state._epoch_bias)
+        )
+        state._epoch_weights = state.weights.copy()
+        state._epoch_bias = state.bias
+        state.iterations = epoch
+        if state.shift <= self.tolerance:
+            state.converged = True
+        return state
+
+    def converged(self, state: _SvmFoldState) -> bool:
+        return state.converged
+
+
+def _signed_labels(y_part: np.ndarray) -> np.ndarray:
+    """Map 0/1 (or pre-signed ±1) labels to ±1, validating the domain."""
+    y = np.asarray(y_part, dtype=np.float64).ravel()
+    values = np.unique(y)
+    if not np.all(np.isin(values, (-1.0, 0.0, 1.0))):
+        raise ModelError(
+            f"SVM labels must be 0/1 or -1/+1, found values {values.tolist()}")
+    if (values == 0.0).any():
+        return 2.0 * y - 1.0
+    return y
+
+
+def hpdsvm(
+    responses: DArray,
+    features: DArray,
+    regularization: float = 1e-2,
+    epochs: int = 50,
+    learning_rate: float = 0.5,
+    tolerance: float = 1e-4,
+    seed: int = 0,
+    feature_names: list[str] | None = None,
+) -> SvmModel:
+    """Fit a linear SVM on co-partitioned distributed arrays.
+
+    ``responses`` is an n x 1 darray of 0/1 (or ±1) labels co-partitioned
+    with the n x p ``features``.  Deterministic for a fixed ``seed`` thanks
+    to the driver's shuffle-once visit order.
+    """
+    if responses.npartitions != features.npartitions:
+        raise ModelError(
+            f"responses ({responses.npartitions}) and features "
+            f"({features.npartitions}) must be co-partitioned"
+        )
+    if regularization < 0:
+        raise ModelError("regularization must be non-negative")
+    n_total = features.nrow
+    if responses.nrow != n_total:
+        raise ModelError(
+            f"row mismatch: {responses.nrow} responses vs {n_total} feature rows"
+        )
+    if n_total == 0:
+        raise ModelError("cannot fit an SVM on zero rows")
+
+    fold = _SvmSgdFold(features.ncol, regularization, learning_rate, tolerance)
+    state = sgd_fit(features, fold, responses, epochs=epochs, seed=seed)
+    return SvmModel(
+        weights=state.weights,
+        bias=state.bias,
+        regularization=regularization,
+        iterations=state.iterations,
+        converged=state.converged,
+        n_observations=n_total,
+        feature_names=list(feature_names or []),
+    )

@@ -12,10 +12,14 @@ from repro.deploy.deploy import (
 from repro.deploy.predict_functions import (
     GlmPredict,
     KmeansPredict,
+    MfPredict,
+    NbPredict,
     RfPredict,
+    SvmPredict,
     make_prediction_function,
     standard_prediction_functions,
 )
+from repro.deploy.refresh import RefreshResult, refresh_model
 from repro.deploy.serialize import (
     deserialize_model,
     register_model_codec,
@@ -35,9 +39,14 @@ __all__ = [
     "deserialize_model",
     "register_model_codec",
     "registered_model_types",
+    "refresh_model",
+    "RefreshResult",
     "GlmPredict",
     "KmeansPredict",
     "RfPredict",
+    "SvmPredict",
+    "MfPredict",
+    "NbPredict",
     "make_prediction_function",
     "standard_prediction_functions",
 ]

@@ -37,11 +37,16 @@ def deploy_model(
     owner: str = "dbadmin",
     description: str = "",
     replace: bool = False,
+    training: dict | None = None,
 ) -> ModelRecord:
     """Serialize ``model`` and store it in the database under ``name``.
 
     Mirrors Figure 3 line 9: ``deploy.model(model, 'rModel')``.  Returns the
     ``R_Models`` record that ``SELECT * FROM R_Models`` will show.
+
+    ``training`` records the model's provenance — ``{"table", "features",
+    "response", "algorithm", "params"}`` — which is what makes the model
+    eligible for ``REFRESH MODEL`` (see :func:`repro.deploy.refresh_model`).
     """
     if not name or not name.replace("_", "").isalnum():
         raise CatalogError(
@@ -62,6 +67,7 @@ def deploy_model(
         size=len(blob),
         description=description,
         dfs_path=path,
+        training=dict(training) if training is not None else None,
     )
     # Stamp the (re)deploy with its own committed epoch from the cluster
     # clock: the catalog swap is atomic with respect to data mutations, and

@@ -30,6 +30,8 @@ __all__ = [
     "deserialize_model",
     "register_model_codec",
     "registered_model_types",
+    "pack_sufficient_stats",
+    "unpack_sufficient_stats",
 ]
 
 _MAGIC = b"RMDL1"
@@ -154,10 +156,34 @@ def deserialize_model(data: bytes) -> Any:
 # -- built-in codecs --------------------------------------------------------
 
 
+def pack_sufficient_stats(arrays: dict, metadata: dict, stats: dict | None) -> None:
+    """Flatten a model's additive sufficient statistics into array sections.
+
+    Stored under ``ss.<key>`` names with the key list in metadata, so codecs
+    stay backward compatible with blobs written before stats existed.
+    """
+    if stats is None:
+        return
+    metadata["stat_keys"] = sorted(stats)
+    for key in stats:
+        arrays[f"ss.{key}"] = np.asarray(stats[key])
+
+
+def unpack_sufficient_stats(metadata: dict, arrays: dict) -> dict | None:
+    """Inverse of :func:`pack_sufficient_stats` (None when absent)."""
+    keys = metadata.get("stat_keys")
+    if not keys:
+        return None
+    return {key: arrays[f"ss.{key}"] for key in keys}
+
+
 def _register_builtin_codecs() -> None:
     from repro.algorithms.glm import GlmModel
     from repro.algorithms.kmeans import KMeansModel
+    from repro.algorithms.mf import MfModel
+    from repro.algorithms.naive_bayes import NaiveBayesModel
     from repro.algorithms.random_forest import DecisionTree, RandomForestModel
+    from repro.algorithms.svm import SvmModel
 
     def glm_to_state(model: GlmModel):
         metadata = {
@@ -175,6 +201,7 @@ def _register_builtin_codecs() -> None:
         arrays = {"coefficients": model.coefficients}
         if model.standard_errors is not None:
             arrays["standard_errors"] = model.standard_errors
+        pack_sufficient_stats(arrays, metadata, model.sufficient_stats)
         return metadata, arrays
 
     def glm_from_state(metadata, arrays):
@@ -190,9 +217,86 @@ def _register_builtin_codecs() -> None:
             n_observations=metadata["n_observations"],
             feature_names=list(metadata["feature_names"]),
             standard_errors=arrays.get("standard_errors"),
+            sufficient_stats=unpack_sufficient_stats(metadata, arrays),
         )
 
     register_model_codec("glm", GlmModel, glm_to_state, glm_from_state)
+
+    def naive_bayes_to_state(model: NaiveBayesModel):
+        metadata = {"n_observations": model.n_observations}
+        arrays = {
+            "log_priors": model.class_log_priors,
+            "means": model.means,
+            "variances": model.variances,
+        }
+        pack_sufficient_stats(arrays, metadata, model.sufficient_stats)
+        return metadata, arrays
+
+    def naive_bayes_from_state(metadata, arrays):
+        return NaiveBayesModel(
+            class_log_priors=arrays["log_priors"],
+            means=arrays["means"],
+            variances=arrays["variances"],
+            n_observations=metadata["n_observations"],
+            sufficient_stats=unpack_sufficient_stats(metadata, arrays),
+        )
+
+    register_model_codec(
+        "naivebayes", NaiveBayesModel, naive_bayes_to_state, naive_bayes_from_state
+    )
+
+    def svm_to_state(model: SvmModel):
+        metadata = {
+            "bias": model.bias,
+            "regularization": model.regularization,
+            "iterations": model.iterations,
+            "converged": model.converged,
+            "n_observations": model.n_observations,
+            "feature_names": model.feature_names,
+        }
+        return metadata, {"weights": model.weights}
+
+    def svm_from_state(metadata, arrays):
+        return SvmModel(
+            weights=arrays["weights"],
+            bias=metadata["bias"],
+            regularization=metadata["regularization"],
+            iterations=metadata["iterations"],
+            converged=metadata["converged"],
+            n_observations=metadata["n_observations"],
+            feature_names=list(metadata["feature_names"]),
+        )
+
+    register_model_codec("svm", SvmModel, svm_to_state, svm_from_state)
+
+    def mf_to_state(model: MfModel):
+        metadata = {
+            "rank": model.rank,
+            "regularization": model.regularization,
+            "iterations": model.iterations,
+            "converged": model.converged,
+            "n_observations": model.n_observations,
+            "train_rmse": model.train_rmse,
+        }
+        arrays = {
+            "user_factors": model.user_factors,
+            "item_factors": model.item_factors,
+        }
+        return metadata, arrays
+
+    def mf_from_state(metadata, arrays):
+        return MfModel(
+            user_factors=arrays["user_factors"],
+            item_factors=arrays["item_factors"],
+            rank=metadata["rank"],
+            regularization=metadata["regularization"],
+            iterations=metadata["iterations"],
+            converged=metadata["converged"],
+            n_observations=metadata["n_observations"],
+            train_rmse=metadata["train_rmse"],
+        )
+
+    register_model_codec("mf", MfModel, mf_to_state, mf_from_state)
 
     def kmeans_to_state(model: KMeansModel):
         metadata = {

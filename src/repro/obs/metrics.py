@@ -238,6 +238,10 @@ CATALOG: dict[str, InstrumentSpec] = {
         _spec("models_deployed", "counter", "1",
               "Models serialized into DFS + R_Models by deploy_model.",
               "repro.deploy.deploy"),
+        _spec("model_staleness_epochs", "gauge", "1",
+              "Epochs the last refreshed model lagged its table "
+              "(peak = worst staleness any REFRESH MODEL observed).",
+              "repro.deploy.refresh"),
         _spec("rows_predicted", "counter", "rows",
               "Rows scored by in-database prediction functions.",
               "repro.deploy.predict_functions"),

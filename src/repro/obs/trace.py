@@ -61,6 +61,9 @@ SPAN_TAXONOMY: dict[str, str] = {
     "yarn.release": "DR session container release",
     "fault.injected": "a FaultPlan spec fired at an injection site",
     "fault.recovered": "a recovery layer absorbed an injected fault",
+    "ml.fold": "one solver run through the unified fold_fit/sgd_fit driver",
+    "ml.fold.step": "one synchronized partition-fold iteration (fold_fit)",
+    "ml.sgd.epoch": "one shuffle-once mini-batch SGD sweep (sgd_fit)",
 }
 
 _span_ids = itertools.count(1)

@@ -126,6 +126,12 @@ class QueryExecutor:
         if isinstance(stmt, ast.DropTable):
             self.cluster.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
             return ResultSet(["status"], {"status": np.asarray(["DROP TABLE"], dtype=object)})
+        if isinstance(stmt, ast.RefreshModel):
+            from repro.deploy.refresh import refresh_model
+
+            result = refresh_model(self.cluster, stmt.name, user=user)
+            status = f"REFRESH MODEL ({result.strategy})"
+            return ResultSet(["status"], {"status": np.asarray([status], dtype=object)})
         if isinstance(stmt, ast.Explain):
             return self._execute_explain(stmt.query)
         if isinstance(stmt, ast.Profile):

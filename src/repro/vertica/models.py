@@ -64,6 +64,10 @@ class ModelRecord:
     # shared clock, so a redeploy is an atomic swap serialized with data
     # mutations (0 = deployed outside any cluster transaction machinery).
     commit_epoch: int = 0
+    # Training provenance for REFRESH MODEL: a JSON-able dict naming the
+    # source table, feature/response columns, algorithm, and fit parameters
+    # (None = not refreshable; the model was deployed without provenance).
+    training: dict | None = None
 
     def allows(self, user: str, privilege: str) -> bool:
         if user == self.owner:

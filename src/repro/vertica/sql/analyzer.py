@@ -78,6 +78,7 @@ SA_CODES: dict[str, str] = {
     "SA106": "unknown table qualifier (alias) on a column reference",
     "SA107": "R_Models is read-only: INSERT / UPDATE / DELETE rejected",
     "SA108": "R_Models cannot participate in joins",
+    "SA109": "REFRESH MODEL names a model that is not deployed",
     # -- SA2xx: type checking -------------------------------------------
     "SA201": "comparison / IN / LIKE over incomparable types",
     "SA202": "arithmetic or numeric function over a non-numeric operand",
@@ -112,7 +113,7 @@ WARNING_CODES = frozenset({"SA401", "SA402"})
 
 #: Resolution failures about *missing catalog objects*: raised as
 #: :class:`SemanticResolutionError` (a ``CatalogError``) for back-compat.
-_CATALOG_CODES = frozenset({"SA101", "SA104", "SA105"})
+_CATALOG_CODES = frozenset({"SA101", "SA104", "SA105", "SA109"})
 
 #: UDTF calling-convention failures historically raised at execution time:
 #: raised as :class:`SemanticParameterError` (an ``ExecutionError``).
@@ -437,6 +438,8 @@ class _Analyzer:
             self._update(stmt, resolved)
         elif isinstance(stmt, ast.DropTable):
             self._drop_table(stmt, resolved)
+        elif isinstance(stmt, ast.RefreshModel):
+            self._refresh_model(stmt, resolved)
         return resolved
 
     # -- table binding -----------------------------------------------------
@@ -786,6 +789,16 @@ class _Analyzer:
             return
         if self.provider.table_types(stmt.name) is None:
             self.emit("SA101", f"table {stmt.name!r} does not exist",
+                      stmt.name_position)
+
+    def _refresh_model(self, stmt: ast.RefreshModel,
+                       resolved: ResolvedQuery) -> None:
+        # Existence is an execution-time concern (like SA105): schema-less
+        # lint providers return None and the check is skipped.
+        if not self.execution:
+            return
+        if self.provider.model_exists(stmt.name) is False:
+            self.emit("SA109", f"model {stmt.name!r} is not deployed",
                       stmt.name_position)
 
     # -- join condition ----------------------------------------------------

@@ -15,7 +15,8 @@ __all__ = [
     "AggregateCall", "InList", "LikeMatch", "Star", "SelectItem", "OrderItem",
     "PartitionSpec", "PartitionKind", "UdtfCall",
     "Statement", "Select", "JoinClause", "CreateTable", "ColumnDef", "SegmentationClause",
-    "Insert", "Delete", "Update", "DropTable", "Explain", "Profile",
+    "Insert", "Delete", "Update", "DropTable", "RefreshModel", "Explain",
+    "Profile",
 ]
 
 
@@ -298,6 +299,19 @@ class Update(Statement):
 class DropTable(Statement):
     name: str
     if_exists: bool = False
+    name_position: int | None = field(default=None, compare=False, repr=False)
+
+
+@dataclass
+class RefreshModel(Statement):
+    """``REFRESH MODEL <name>``: fold epochs newer than the model's stamp.
+
+    MODEL is deliberately *not* a lexer keyword (``USING PARAMETERS
+    model='x'`` needs it as a plain identifier); the parser consumes it the
+    way ``DROP TABLE IF EXISTS`` consumes IF/EXISTS.
+    """
+
+    name: str
     name_position: int | None = field(default=None, compare=False, repr=False)
 
 

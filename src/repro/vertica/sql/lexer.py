@@ -31,7 +31,7 @@ KEYWORDS = frozenset(
         "ASC", "DESC", "DISTINCT", "BETWEEN", "LIKE",
         "JOIN", "ON", "INNER", "LEFT", "OUTER",
         "CREATE", "TABLE", "DROP", "INSERT", "INTO", "VALUES", "EXPLAIN",
-        "PROFILE", "COPY",
+        "PROFILE", "COPY", "REFRESH",
         "DELETE", "UPDATE", "SET", "AT", "EPOCH", "LATEST",
         "SEGMENTED", "UNSEGMENTED", "HASH", "ALL", "NODES",
         "USING", "PARAMETERS", "OVER", "PARTITION", "BEST",

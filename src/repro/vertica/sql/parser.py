@@ -12,6 +12,7 @@ Supported statements::
     UPDATE t SET col = expr, ... [WHERE ...]
     AT EPOCH n | LATEST SELECT ...
     DROP TABLE [IF EXISTS] t
+    REFRESH MODEL m
 
 The grammar follows standard SQL precedence: OR < AND < NOT < comparison <
 additive < multiplicative < unary minus.
@@ -136,6 +137,8 @@ class _Parser:
             return self.update()
         if self.check_keyword("DROP"):
             return self.drop_table()
+        if self.check_keyword("REFRESH"):
+            return self.refresh_model()
         if self.accept_keyword("AT"):
             return self._at_epoch()
         if self.accept_keyword("EXPLAIN"):
@@ -423,6 +426,20 @@ class _Parser:
         name_position = self.current.position
         name = self.expect_ident("table name")
         return ast.DropTable(name, if_exists, name_position=name_position)
+
+    def refresh_model(self) -> ast.RefreshModel:
+        self.expect_keyword("REFRESH")
+        # MODEL arrives as an identifier: it stays unreserved so that
+        # ``USING PARAMETERS model='x'`` keeps parsing as a parameter name.
+        token = self.current
+        if token.type is not TokenType.IDENT or token.value.upper() != "MODEL":
+            raise SqlSyntaxError(
+                "expected MODEL after REFRESH", position=token.position
+            )
+        self.advance()
+        name_position = self.current.position
+        name = self.expect_ident("model name")
+        return ast.RefreshModel(name, name_position=name_position)
 
     # -- expressions (precedence climbing) -----------------------------------
 

@@ -251,20 +251,44 @@ class Segment:
 
     # -- reads -------------------------------------------------------------
 
-    def capture(self, snapshot: "Snapshot | None" = None) -> SegmentScanSet:
-        """Atomically freeze the storage a scan at ``snapshot`` must read."""
+    def capture(self, snapshot: "Snapshot | None" = None,
+                since_epoch: int = 0) -> SegmentScanSet:
+        """Atomically freeze the storage a scan at ``snapshot`` must read.
+
+        ``since_epoch`` narrows the capture to storage stamped **after** that
+        epoch — the delta window ``(since_epoch, snapshot]`` incremental model
+        refresh folds over.  The default 0 precedes every real stamp, so plain
+        scans are unchanged.
+        """
         cap = snapshot_epoch(snapshot)
+        since = since_epoch
         with self._mutation_lock:
             rowgroups = [
                 rg for rg, e in zip(self._memory_rowgroups, self._memory_epochs)
-                if e <= cap
+                if since < e <= cap
             ]
             files = [
-                f for f, e in zip(self._files, self._file_epochs) if e <= cap
+                f for f, e in zip(self._files, self._file_epochs)
+                if since < e <= cap
             ]
-            wos = [b for b in self._wos if b.epoch <= cap]
+            wos = [b for b in self._wos if since < b.epoch <= cap]
             deletes = self.delete_vector.frozen()
         return SegmentScanSet(rowgroups, files, wos, deletes)
+
+    def delete_epochs_between(self, since_epoch: int,
+                              snapshot: "Snapshot | None" = None) -> bool:
+        """Whether any delete committed in the window ``(since_epoch, snapshot]``.
+
+        The incremental-refresh guard: a delete in the window can remove rows
+        the model already folded in, which a pure insert-delta cannot express,
+        so the refresher falls back to a full refit.
+        """
+        cap = snapshot_epoch(snapshot)
+        frozen = self.delete_vector.frozen()
+        if not len(frozen):
+            return False
+        return bool(((frozen.epochs > since_epoch)
+                     & (frozen.epochs <= cap)).any())
 
     def iter_rowgroups(self, columns: list[str] | None = None,
                        snapshot: "Snapshot | None" = None) -> Iterator[RowGroup]:
@@ -292,6 +316,7 @@ class Segment:
                      ranges: dict | None = None,
                      prune_counter=None,
                      snapshot: "Snapshot | None" = None,
+                     since_epoch: int = 0,
                      ) -> Iterator[dict[str, np.ndarray]]:
         """Stream the segment one decoded row group / WOS batch at a time.
 
@@ -309,7 +334,7 @@ class Segment:
         at-or-before it are filtered out.
         """
         names = columns if columns is not None else [c.name for c in self.schema]
-        scan = self.capture(snapshot)
+        scan = self.capture(snapshot, since_epoch=since_epoch)
         cap = snapshot_epoch(snapshot)
         constrained = self._constrained_columns(ranges)
         filtering = len(scan.deletes) > 0
@@ -365,6 +390,7 @@ class Segment:
                      ranges: dict | None = None,
                      prune_counter=None,
                      snapshot: "Snapshot | None" = None,
+                     since_epoch: int = 0,
                      ) -> dict[str, np.ndarray]:
         """Materialize the segment (the given columns) as arrays.
 
@@ -376,7 +402,8 @@ class Segment:
         names = columns if columns is not None else [c.name for c in self.schema]
         pieces: dict[str, list[np.ndarray]] = {name: [] for name in names}
         for decoded in self.iter_batches(names, ranges, prune_counter,
-                                         snapshot=snapshot):
+                                         snapshot=snapshot,
+                                         since_epoch=since_epoch):
             for name in names:
                 pieces[name].append(decoded[name])
         empty = None
@@ -1003,3 +1030,38 @@ class Table:
             name: np.concatenate([p[name] for p in parts]) if parts else np.empty(0)
             for name in names
         }
+
+    def scan_delta(self, columns: list[str] | None = None,
+                   since_epoch: int = 0,
+                   snapshot: "Snapshot | None" = None) -> dict[str, np.ndarray]:
+        """Rows inserted in ``(since_epoch, snapshot]`` and still visible.
+
+        The snapshot-delta query incremental model refresh runs: only
+        storage stamped after ``since_epoch`` is decoded, so the cost scales
+        with the trickle delta, not the table.  Deletes at-or-before the
+        snapshot are applied to the delta rows as in a plain scan; use
+        :meth:`has_deletes_between` to detect deletes the delta cannot
+        express (rows the *old* window lost).
+        """
+        names = columns if columns is not None else self.column_names
+        if snapshot is None and self.epochs is not None:
+            snapshot = self.epochs.snapshot()
+        parts = [
+            segment.read_columns(names, snapshot=snapshot,
+                                 since_epoch=since_epoch)
+            for segment in self.segments
+        ]
+        return {
+            name: np.concatenate([p[name] for p in parts]) if parts else np.empty(0)
+            for name in names
+        }
+
+    def has_deletes_between(self, since_epoch: int,
+                            snapshot: "Snapshot | None" = None) -> bool:
+        """Whether any segment committed a delete in ``(since_epoch, snapshot]``."""
+        if snapshot is None and self.epochs is not None:
+            snapshot = self.epochs.snapshot()
+        return any(
+            segment.delete_epochs_between(since_epoch, snapshot)
+            for segment in self.segments
+        )

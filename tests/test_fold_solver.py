@@ -1,0 +1,433 @@
+"""Tests for the unified partition-fold solver kernel.
+
+Covers the :mod:`repro.algorithms.fold` drivers (``fold_fit`` / ``sgd_fit``
+/ ``LocalArray``), the SGD families built on them (linear SVM, matrix
+factorization), carrier-independence of the ported solvers (a fit over a
+``LocalArray`` matches the same fit over a distributed darray), and
+cross-validation over the unified fold interface: seeded shuffle
+determinism, fold-count edge cases, and CV-score parity against closed-form
+per-fold fits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms import (
+    LocalArray,
+    PartitionFold,
+    SgdFold,
+    cv_hpdglm,
+    fold_fit,
+    hpdglm,
+    hpdkmeans,
+    hpdmf,
+    hpdnaivebayes,
+    hpdsvm,
+    sgd_fit,
+)
+from repro.errors import ModelError, PartitionError
+from repro.workloads import make_blobs, make_classification, make_regression
+
+
+def fill_pair(session, features, responses, npartitions=3):
+    """Co-partitioned (Y, X) darrays, split at the same linspace boundaries
+    LocalArray uses."""
+    x = session.darray(npartitions=npartitions)
+    x.fill_from(features)
+    y = session.darray(
+        npartitions=npartitions,
+        worker_assignment=[x.worker_of(i) for i in range(npartitions)],
+    )
+    boundaries = np.linspace(0, len(features), npartitions + 1).astype(int)
+    for i in range(npartitions):
+        y.fill_partition(i, responses[boundaries[i]:boundaries[i + 1]].reshape(-1, 1))
+    return y, x
+
+
+class TestLocalArray:
+    def test_linspace_splits_match_darray_convention(self):
+        data = np.arange(20, dtype=float).reshape(10, 2)
+        arr = LocalArray(data, npartitions=3)
+        boundaries = np.linspace(0, 10, 4).astype(int)
+        expected = [
+            (boundaries[i + 1] - boundaries[i], 2) for i in range(3)
+        ]
+        assert arr.partition_shapes() == expected
+        assert arr.nrow == 10 and arr.ncol == 2 and arr.shape == (10, 2)
+
+    def test_one_dimensional_input_becomes_column(self):
+        arr = LocalArray([1.0, 2.0, 3.0])
+        assert arr.shape == (3, 1)
+        assert np.array_equal(arr.collect(), [[1.0], [2.0], [3.0]])
+
+    def test_collect_roundtrips(self):
+        data = np.random.default_rng(0).normal(size=(17, 3))
+        assert np.array_equal(LocalArray(data, npartitions=4).collect(), data)
+
+    def test_three_dimensional_input_rejected(self):
+        with pytest.raises(PartitionError):
+            LocalArray(np.zeros((2, 2, 2)))
+
+    def test_zero_partitions_rejected(self):
+        with pytest.raises(PartitionError):
+            LocalArray(np.zeros((4, 1)), npartitions=0)
+
+    def test_map_partitions_forwards_index_and_companions(self):
+        x = LocalArray(np.arange(6, dtype=float).reshape(6, 1), npartitions=2)
+        y = LocalArray(np.arange(6, 12, dtype=float), npartitions=2)
+        seen = x.map_partitions(
+            lambda i, xp, yp: (i, float(xp.sum()), float(yp.sum())), y)
+        assert seen == [(0, 3.0, 21.0), (1, 12.0, 30.0)]
+
+    def test_map_partitions_rejects_mismatched_companions(self):
+        x = LocalArray(np.zeros((6, 1)), npartitions=2)
+        y = LocalArray(np.zeros((6, 1)), npartitions=3)
+        with pytest.raises(PartitionError):
+            x.map_partitions(lambda i, xp, yp: None, y)
+
+
+class _ColumnSumFold:
+    """One-shot fold: sum of every row across partitions."""
+
+    solver = "test.sum"
+
+    def init_state(self):
+        return None
+
+    def partial(self, state, index, partition):
+        return partition.sum(axis=0)
+
+    def merge(self, partials):
+        return np.sum(partials, axis=0)
+
+    def step(self, state, merged, iteration):
+        return merged
+
+    def converged(self, state):
+        return True
+
+
+class _CountingFold(_ColumnSumFold):
+    """Never converges; counts the synchronized iterations it gets."""
+
+    solver = "test.count"
+
+    def __init__(self):
+        self.iterations = 0
+
+    def step(self, state, merged, iteration):
+        self.iterations = iteration
+        return merged
+
+    def converged(self, state):
+        return False
+
+
+class TestFoldFit:
+    def test_single_pass_fold_sums_columns(self):
+        data = np.arange(12, dtype=float).reshape(6, 2)
+        state = fold_fit(LocalArray(data, npartitions=3), _ColumnSumFold())
+        assert np.array_equal(state, data.sum(axis=0))
+
+    def test_runs_until_max_iterations_without_convergence(self):
+        fold = _CountingFold()
+        fold_fit(LocalArray(np.ones((4, 1))), fold, max_iterations=5)
+        assert fold.iterations == 5
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ModelError):
+            fold_fit(LocalArray(np.ones((4, 1))), _ColumnSumFold(),
+                     max_iterations=0)
+
+    def test_protocols_are_runtime_checkable(self):
+        assert isinstance(_ColumnSumFold(), PartitionFold)
+        assert not isinstance(_ColumnSumFold(), SgdFold)
+
+
+class TestCarrierIndependence:
+    """The ported solvers give the same answer on LocalArray and DArray —
+    the fold kernel abstracts the data carrier away."""
+
+    def test_glm_matches_across_carriers(self, session):
+        data = make_regression(600, 3, noise_scale=0.3, seed=21)
+        y, x = fill_pair(session, data.features, data.responses)
+        distributed = hpdglm(y, x, family="gaussian")
+        local = hpdglm(
+            LocalArray(data.responses, npartitions=3),
+            LocalArray(data.features, npartitions=3),
+            family="gaussian",
+        )
+        assert np.allclose(distributed.coefficients, local.coefficients,
+                           atol=1e-12)
+        assert distributed.deviance == pytest.approx(local.deviance)
+        assert np.allclose(distributed.standard_errors, local.standard_errors,
+                           atol=1e-12)
+
+    def test_kmeans_matches_across_carriers(self, session):
+        dataset = make_blobs(450, 2, 3, seed=22)
+        darr = session.darray(npartitions=3)
+        darr.fill_from(dataset.points)
+        distributed = hpdkmeans(darr, k=3, seed=5)
+        local = hpdkmeans(LocalArray(dataset.points, npartitions=3), k=3,
+                          seed=5)
+        assert np.allclose(distributed.centers, local.centers, atol=1e-12)
+        assert distributed.inertia == pytest.approx(local.inertia)
+
+    def test_naive_bayes_matches_across_carriers(self, session):
+        data = make_classification(900, 3, seed=23)
+        y, x = fill_pair(session, data.features, data.responses.astype(float))
+        distributed = hpdnaivebayes(y, x)
+        local = hpdnaivebayes(
+            LocalArray(data.responses.astype(float), npartitions=3),
+            LocalArray(data.features, npartitions=3),
+        )
+        assert np.allclose(distributed.means, local.means, atol=1e-12)
+        assert np.allclose(distributed.class_log_priors,
+                           local.class_log_priors, atol=1e-12)
+
+    def test_svm_matches_across_carriers(self, session):
+        data = make_classification(600, 2, seed=24,
+                                   coefficients=np.array([2.0, -2.0]))
+        y, x = fill_pair(session, data.features, data.responses.astype(float))
+        distributed = hpdsvm(y, x, epochs=10, seed=3)
+        local = hpdsvm(
+            LocalArray(data.responses.astype(float), npartitions=3),
+            LocalArray(data.features, npartitions=3),
+            epochs=10, seed=3,
+        )
+        assert np.allclose(distributed.weights, local.weights, atol=1e-12)
+        assert distributed.bias == pytest.approx(local.bias)
+
+
+class _RecordingSgdFold:
+    """Logs the (epoch, partition) visit sequence; never converges."""
+
+    solver = "test.record"
+
+    def __init__(self):
+        self.visits = []
+
+    def init_state(self):
+        return 0.0
+
+    def gradient(self, state, index, partition):
+        self.visits.append(index)
+        return float(partition.sum())
+
+    def apply(self, state, gradient, step_index):
+        return state + gradient
+
+    def epoch_end(self, state, epoch):
+        return state
+
+    def converged(self, state):
+        return False
+
+
+class TestSgdFit:
+    def test_shuffle_once_order_repeats_across_epochs(self):
+        data = LocalArray(np.ones((12, 1)), npartitions=6)
+        fold = _RecordingSgdFold()
+        sgd_fit(data, fold, epochs=3, seed=9)
+        expected = np.random.default_rng(9).permutation(6).tolist()
+        assert fold.visits == expected * 3
+
+    def test_same_seed_same_updates(self):
+        data = LocalArray(np.arange(12, dtype=float), npartitions=6)
+        one = sgd_fit(data, _RecordingSgdFold(), epochs=2, seed=4)
+        two = sgd_fit(data, _RecordingSgdFold(), epochs=2, seed=4)
+        assert one == two
+
+    def test_different_seeds_visit_differently(self):
+        data = LocalArray(np.ones((12, 1)), npartitions=6)
+        first, second = _RecordingSgdFold(), _RecordingSgdFold()
+        sgd_fit(data, first, epochs=1, seed=0)
+        sgd_fit(data, second, epochs=1, seed=1)
+        assert first.visits != second.visits
+
+    def test_zero_epochs_rejected(self):
+        with pytest.raises(ModelError):
+            sgd_fit(LocalArray(np.ones((4, 1))), _RecordingSgdFold(),
+                    epochs=0)
+
+    def test_mismatched_companions_rejected(self):
+        x = LocalArray(np.ones((6, 1)), npartitions=3)
+        y = LocalArray(np.ones((6, 1)), npartitions=2)
+        with pytest.raises(ModelError):
+            sgd_fit(x, _RecordingSgdFold(), y)
+
+
+class TestSvm:
+    def separable(self, seed=31):
+        return make_classification(800, 2, seed=seed,
+                                   coefficients=np.array([3.0, -3.0]))
+
+    def test_separates_linearly_separable_data(self):
+        data = self.separable()
+        model = hpdsvm(LocalArray(data.responses.astype(float), npartitions=4),
+                       LocalArray(data.features, npartitions=4))
+        from repro.algorithms import accuracy
+        # make_classification draws labels through a logistic, so the Bayes
+        # rate itself is below 1; 0.85 is comfortably above chance.
+        assert accuracy(data.responses, model.predict(data.features)) > 0.85
+        # The learned hyperplane points the same way as the truth.
+        assert model.weights[0] > 0 and model.weights[1] < 0
+
+    def test_deterministic_under_seed(self):
+        data = self.separable(seed=32)
+        y = LocalArray(data.responses.astype(float), npartitions=4)
+        x = LocalArray(data.features, npartitions=4)
+        one = hpdsvm(y, x, epochs=8, seed=7)
+        two = hpdsvm(y, x, epochs=8, seed=7)
+        assert np.array_equal(one.weights, two.weights)
+        assert one.bias == two.bias
+
+    def test_signed_labels_accepted(self):
+        data = self.separable(seed=33)
+        signed = 2.0 * data.responses.astype(float) - 1.0
+        model = hpdsvm(LocalArray(signed, npartitions=2),
+                       LocalArray(data.features, npartitions=2), epochs=5)
+        assert model.n_observations == 800
+
+    def test_bad_labels_rejected(self):
+        with pytest.raises(ModelError):
+            hpdsvm(LocalArray(np.array([0.0, 1.0, 2.0])),
+                   LocalArray(np.zeros((3, 2))))
+
+    def test_mismatched_partitioning_rejected(self):
+        with pytest.raises(ModelError):
+            hpdsvm(LocalArray(np.zeros(6), npartitions=2),
+                   LocalArray(np.zeros((6, 2)), npartitions=3))
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ModelError):
+            hpdsvm(LocalArray(np.empty((0, 1))), LocalArray(np.empty((0, 2))))
+
+    def test_decision_function_checks_width(self):
+        data = self.separable(seed=34)
+        model = hpdsvm(LocalArray(data.responses.astype(float)),
+                       LocalArray(data.features), epochs=3)
+        with pytest.raises(ModelError):
+            model.decision_function(np.zeros((5, 3)))
+
+
+class TestMf:
+    def ratings(self, seed=41, n_users=20, n_items=15, rank=2):
+        rng = np.random.default_rng(seed)
+        u = rng.normal(size=(n_users, rank))
+        v = rng.normal(size=(n_items, rank))
+        users, items = np.meshgrid(np.arange(n_users), np.arange(n_items))
+        triples = np.column_stack([
+            users.ravel().astype(float),
+            items.ravel().astype(float),
+            np.einsum("ij,ij->i", u[users.ravel()], v[items.ravel()]),
+        ])
+        return triples
+
+    def test_recovers_low_rank_structure(self):
+        triples = self.ratings()
+        model = hpdmf(LocalArray(triples, npartitions=5), rank=4, seed=1)
+        assert model.train_rmse < 0.2
+        predicted = model.predict(triples[:, :2])
+        assert np.sqrt(np.mean((predicted - triples[:, 2]) ** 2)) < 0.2
+
+    def test_deterministic_under_seed(self):
+        triples = self.ratings(seed=42)
+        data = LocalArray(triples, npartitions=5)
+        one = hpdmf(data, rank=3, epochs=10, seed=6)
+        two = hpdmf(data, rank=3, epochs=10, seed=6)
+        assert np.array_equal(one.user_factors, two.user_factors)
+        assert np.array_equal(one.item_factors, two.item_factors)
+
+    def test_predict_validates_pair_shape(self):
+        model = hpdmf(LocalArray(self.ratings(seed=43)), rank=2, epochs=2)
+        with pytest.raises(ModelError):
+            model.predict(np.zeros((4, 3)))
+
+    def test_predict_validates_id_ranges(self):
+        model = hpdmf(LocalArray(self.ratings(seed=44)), rank=2, epochs=2)
+        with pytest.raises(ModelError):
+            model.predict(np.array([[999.0, 0.0]]))
+        with pytest.raises(ModelError):
+            model.predict(np.array([[0.0, -1.0]]))
+
+
+def local_fold_ids(n, npartitions, nfolds, seed):
+    """Reconstruct cv._fold_assignment's per-partition deterministic ids."""
+    boundaries = np.linspace(0, n, npartitions + 1).astype(int)
+    ids = np.empty(n, dtype=np.int64)
+    for i in range(npartitions):
+        rng = np.random.default_rng(seed + i * 7919)
+        ids[boundaries[i]:boundaries[i + 1]] = rng.integers(
+            0, nfolds, size=boundaries[i + 1] - boundaries[i])
+    return ids
+
+
+class TestCrossValidationUnifiedFold:
+    """cv_hpdglm satellites: determinism, edge cases, and score parity over
+    the fold_fit-backed GLM."""
+
+    def test_same_seed_reproduces_scores_exactly(self, session):
+        data = make_regression(600, 3, noise_scale=0.4, seed=51)
+        y, x = fill_pair(session, data.features, data.responses)
+        one = cv_hpdglm(y, x, nfolds=4, seed=3)
+        two = cv_hpdglm(y, x, nfolds=4, seed=3)
+        assert one.fold_deviances == two.fold_deviances
+        assert one.fold_metrics == two.fold_metrics
+
+    def test_different_seeds_shuffle_differently(self, session):
+        data = make_regression(600, 3, noise_scale=0.4, seed=52)
+        y, x = fill_pair(session, data.features, data.responses)
+        one = cv_hpdglm(y, x, nfolds=4, seed=0)
+        two = cv_hpdglm(y, x, nfolds=4, seed=1)
+        assert one.fold_deviances != two.fold_deviances
+
+    def test_more_folds_than_rows_rejected(self, session):
+        data = make_regression(4, 1, seed=53)
+        y, x = fill_pair(session, data.features, data.responses,
+                         npartitions=2)
+        with pytest.raises(ModelError):
+            cv_hpdglm(y, x, nfolds=5)
+
+    def test_not_co_partitioned_rejected(self, session):
+        data = make_regression(60, 2, seed=54)
+        _, x = fill_pair(session, data.features, data.responses,
+                         npartitions=3)
+        y = session.darray(npartitions=2)
+        y.fill_from(data.responses.reshape(-1, 1))
+        with pytest.raises(ModelError):
+            cv_hpdglm(y, x, nfolds=3)
+
+    def test_empty_fold_reported(self, session):
+        # With 12 rows over 3 partitions and seed 0, fold 4 of 6 draws no
+        # rows (pinned by local_fold_ids below) — the driver must say so
+        # rather than fit on everything and score on nothing.
+        assert (local_fold_ids(12, 3, 6, 0) == 4).sum() == 0
+        data = make_regression(12, 1, seed=55)
+        y, x = fill_pair(session, data.features, data.responses,
+                         npartitions=3)
+        with pytest.raises(ModelError, match="empty"):
+            cv_hpdglm(y, x, nfolds=6, seed=0)
+
+    def test_gaussian_fold_models_match_closed_form(self, session):
+        """Each per-fold GLM equals the normal-equations solution on its
+        training rows, and each reported deviance is the held-out SSE."""
+        data = make_regression(600, 3, noise_scale=0.5, seed=56)
+        y, x = fill_pair(session, data.features, data.responses)
+        nfolds, seed = 4, 0
+        result = cv_hpdglm(y, x, family="gaussian", nfolds=nfolds, seed=seed)
+
+        fold_ids = local_fold_ids(600, 3, nfolds, seed)
+        design = np.column_stack([np.ones(600), data.features])
+        for fold in range(nfolds):
+            train = fold_ids != fold
+            expected = np.linalg.lstsq(design[train],
+                                       data.responses[train], rcond=None)[0]
+            assert np.allclose(result.models[fold].coefficients, expected,
+                               atol=1e-8)
+            held = ~train
+            mu = result.models[fold].predict(data.features[held])
+            sse = float(np.sum((data.responses[held] - mu) ** 2))
+            assert result.fold_deviances[fold] == pytest.approx(sse)
+        assert result.mean_deviance == pytest.approx(
+            float(np.mean(result.fold_deviances)))

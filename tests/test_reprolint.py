@@ -595,6 +595,111 @@ def test_registry_drift_ignores_tests(tmp_path):
 
 
 # ---------------------------------------------------------------------------
+# model-type-drift (RL904, project scope)
+# ---------------------------------------------------------------------------
+
+def _model_type_project(tmp_path: Path, *, codec: bool,
+                        predictor: bool) -> ProjectContext:
+    """Fake tree: one algorithm declaring model_type='widget', with the
+    deploy registries optionally covering it."""
+    algo = tmp_path / "src/repro/algorithms/widget.py"
+    algo.parent.mkdir(parents=True)
+    algo.write_text(
+        textwrap.dedent(
+            """
+            class WidgetModel:
+                model_type = "widget"
+
+            class _Helper:
+                pass
+            """
+        ),
+        encoding="utf-8",
+    )
+
+    serialize = tmp_path / "src/repro/deploy/serialize.py"
+    serialize.parent.mkdir(parents=True)
+    codec_call = (
+        'register_model_codec("widget", WidgetModel, to_state, from_state)\n'
+        if codec else ""
+    )
+    serialize.write_text(
+        "def register_model_codec(name, cls, to_state, from_state): pass\n"
+        'register_model_codec("glm", None, None, None)\n' + codec_call,
+        encoding="utf-8",
+    )
+
+    predict = tmp_path / "src/repro/deploy/predict_functions.py"
+    predictor_cls = (
+        'class WidgetPredict:\n    expected_model_type = "widget"\n'
+        if predictor else ""
+    )
+    predict.write_text(
+        'class GlmPredict:\n    expected_model_type = "glm"\n' + predictor_cls,
+        encoding="utf-8",
+    )
+
+    return ProjectContext(tmp_path, [algo, serialize, predict])
+
+
+def test_model_type_drift_flags_missing_codec_and_predictor(tmp_path):
+    checker = get_checker("model-type-drift")
+    violations = list(checker.check_project(
+        _model_type_project(tmp_path, codec=False, predictor=False)
+    ))
+    assert len(violations) == 2
+    assert all(v.code == "RL904" for v in violations)
+    assert all(v.symbol == "WidgetModel" for v in violations)
+    assert "no serializer" in violations[0].message
+    assert "no prediction function" in violations[1].message
+
+
+def test_model_type_drift_flags_one_sided_gaps(tmp_path):
+    checker = get_checker("model-type-drift")
+    no_codec = list(checker.check_project(
+        _model_type_project(tmp_path / "a", codec=False, predictor=True)
+    ))
+    assert [v.message for v in no_codec] and "no serializer" in no_codec[0].message
+    no_predict = list(checker.check_project(
+        _model_type_project(tmp_path / "b", codec=True, predictor=False)
+    ))
+    assert len(no_predict) == 1
+    assert "no prediction function" in no_predict[0].message
+
+
+def test_model_type_drift_clean_when_both_registered(tmp_path):
+    checker = get_checker("model-type-drift")
+    assert list(checker.check_project(
+        _model_type_project(tmp_path, codec=True, predictor=True)
+    )) == []
+
+
+def test_model_type_drift_accepts_make_prediction_function(tmp_path):
+    project = _model_type_project(tmp_path, codec=True, predictor=False)
+    predict = tmp_path / "src/repro/deploy/predict_functions.py"
+    predict.write_text(
+        predict.read_text(encoding="utf-8")
+        + 'fn = make_prediction_function("widgetPredict", "widget", score)\n',
+        encoding="utf-8",
+    )
+    assert list(get_checker("model-type-drift").check_project(project)) == []
+
+
+def test_model_type_drift_reports_missing_registry(tmp_path):
+    project = _model_type_project(tmp_path, codec=True, predictor=True)
+    (tmp_path / "src/repro/deploy/serialize.py").unlink()
+    violations = list(get_checker("model-type-drift").check_project(project))
+    assert len(violations) == 1
+    assert "cannot extract" in violations[0].message
+
+
+def test_model_type_drift_clean_on_real_tree():
+    """Every model family in the live tree is fully wired into deploy."""
+    checker = get_checker("model-type-drift")
+    assert list(checker.check_project(ProjectContext(REPO_ROOT, []))) == []
+
+
+# ---------------------------------------------------------------------------
 # suppressions and baseline
 # ---------------------------------------------------------------------------
 

@@ -74,6 +74,7 @@ CORPUS: list[tuple[str, str, str | None]] = [
     ("UPDATE R_Models SET model = 'x'", "SA107", "R_Models"),
     ("INSERT INTO R_Models VALUES ('x')", "SA107", "R_Models"),
     ("SELECT * FROM t JOIN R_Models ON t.k = 1", "SA108", "R_Models"),
+    ("REFRESH MODEL ghost", "SA109", "ghost"),
     # -- SA2xx: type checking -------------------------------------------
     ("SELECT a FROM t WHERE name = 3", "SA201", "= 3"),
     ("SELECT a FROM t WHERE k IN (1, 'x')", "SA201", "IN"),
@@ -202,6 +203,12 @@ def test_lenient_mode_still_catches_structural_errors():
     ]:
         resolved = analyze(parse(sql), LenientProvider())
         assert [d.code for d in resolved.errors] == [code], sql
+
+
+def test_lenient_mode_skips_refresh_model_catalog_check():
+    """SA109 is a catalog check: without a cluster it must not fire."""
+    resolved = analyze(parse("REFRESH MODEL anything"), LenientProvider())
+    assert resolved.ok
 
 
 def test_lenient_mode_types_r_models():

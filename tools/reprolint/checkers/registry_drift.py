@@ -1,6 +1,6 @@
 """registry-drift (RL9xx): observability names must exist in their registries.
 
-Three cross-module invariants the type system cannot see, each enforced by
+Cross-module invariants the type system cannot see, each enforced by
 holding the *string literals* engine code emits to the corresponding
 registry module:
 
@@ -17,8 +17,14 @@ registry module:
   must belong to the documented ``SPAN_TAXONOMY`` of
   ``src/repro/obs/trace.py``.  Ad-hoc names fragment traces and drift from
   ``docs/observability.md``.
+* **RL904 (model-type-drift)** — every ``model_type = "..."`` a model
+  class declares in ``src/repro/algorithms/`` must have a serializer
+  registered in ``src/repro/deploy/serialize.py`` *and* a prediction
+  function in ``src/repro/deploy/predict_functions.py``.  A model family
+  missing either cannot be deployed or cannot be scored in SQL — a gap
+  only discovered at runtime.
 
-All three are project-scope and apply to ``src/`` only: tests deliberately
+All are project-scope and apply to ``src/`` only: tests deliberately
 invent ad-hoc counters, sites, and spans to exercise the dynamic paths.
 """
 
@@ -39,6 +45,9 @@ from reprolint.core import (
 METRICS_MODULE = "src/repro/obs/metrics.py"
 SITES_MODULE = "src/repro/faults/sites.py"
 TRACE_MODULE = "src/repro/obs/trace.py"
+ALGORITHMS_DIR = "src/repro/algorithms/"
+SERIALIZE_MODULE = "src/repro/deploy/serialize.py"
+PREDICT_MODULE = "src/repro/deploy/predict_functions.py"
 
 #: telemetry-facade methods whose first argument is a metric name.
 _TELEMETRY_METHODS = frozenset({"add", "observe_max", "gauge_add"})
@@ -238,3 +247,113 @@ class SpanDriftChecker(Checker):
                     f"{TRACE_MODULE}; ad-hoc span names fragment traces "
                     "and drift from docs/observability.md",
                 )
+
+
+def _class_str_attr(cls: ast.ClassDef, attr: str) -> str | None:
+    """The string value of a class-level ``attr = "..."`` assignment."""
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if not any(isinstance(t, ast.Name) and t.id == attr for t in targets):
+            continue
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            return value.value
+    return None
+
+
+def _codec_types(project: ProjectContext) -> set[str] | None:
+    """Model types with a serializer: ``register_model_codec("<type>", ...)``."""
+    source = project.read(SERIALIZE_MODULE)
+    if source is None:
+        return None
+    types: set[str] = set()
+    for node in ast.walk(ast.parse(source, filename=SERIALIZE_MODULE)):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else \
+            func.attr if isinstance(func, ast.Attribute) else None
+        if name != "register_model_codec":
+            continue
+        type_name = _first_str_arg(node)
+        if type_name is not None:
+            types.add(type_name)
+    return types or None
+
+
+def _predictor_types(project: ProjectContext) -> set[str] | None:
+    """Model types a prediction function scores: class-level
+    ``expected_model_type`` literals plus ``make_prediction_function``'s
+    second argument."""
+    source = project.read(PREDICT_MODULE)
+    if source is None:
+        return None
+    types: set[str] = set()
+    tree = ast.parse(source, filename=PREDICT_MODULE)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            expected = _class_str_attr(node, "expected_model_type")
+            if expected:
+                types.add(expected)
+        elif isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else \
+                func.attr if isinstance(func, ast.Attribute) else None
+            if name == "make_prediction_function" and len(node.args) >= 2 \
+                    and isinstance(node.args[1], ast.Constant) \
+                    and isinstance(node.args[1].value, str):
+                types.add(node.args[1].value)
+    return types or None
+
+
+@register
+class ModelTypeDriftChecker(Checker):
+    rule = "model-type-drift"
+    code = "RL904"
+    description = (
+        "every model_type declared in repro.algorithms must have a "
+        "serializer in deploy/serialize.py and a prediction function in "
+        "deploy/predict_functions.py"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        codecs = _codec_types(project)
+        if codecs is None:
+            yield _registry_error(self, SERIALIZE_MODULE,
+                                  "register_model_codec calls")
+            return
+        predictors = _predictor_types(project)
+        if predictors is None:
+            yield _registry_error(self, PREDICT_MODULE,
+                                  "prediction-function model types")
+            return
+        for ctx in _iter_source_files(project):
+            if not ctx.relpath.startswith(ALGORITHMS_DIR):
+                continue
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                model_type = _class_str_attr(node, "model_type")
+                if model_type is None:
+                    continue
+                if model_type not in codecs:
+                    yield self.violation(
+                        ctx, node,
+                        f"model type {model_type!r} ({node.name}) has no "
+                        f"serializer: add a register_model_codec("
+                        f"{model_type!r}, ...) call to {SERIALIZE_MODULE} "
+                        "or the model cannot be deployed",
+                    )
+                if model_type not in predictors:
+                    yield self.violation(
+                        ctx, node,
+                        f"model type {model_type!r} ({node.name}) has no "
+                        f"prediction function: add one to {PREDICT_MODULE} "
+                        "(expected_model_type or make_prediction_function) "
+                        "or the model cannot be scored in SQL",
+                    )

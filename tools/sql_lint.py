@@ -44,7 +44,8 @@ RENDERINGS = ("ph", "1", "SELECT ph FROM ph")
 
 #: A literal is treated as SQL when it starts with one of these keywords.
 _SQL_START = re.compile(
-    r"^\s*(SELECT|INSERT|UPDATE|DELETE|CREATE|DROP|EXPLAIN|PROFILE|AT\s+EPOCH)\b",
+    r"^\s*(SELECT|INSERT|UPDATE|DELETE|CREATE|DROP|REFRESH|EXPLAIN|PROFILE"
+    r"|AT\s+EPOCH)\b",
     re.IGNORECASE,
 )
 
