@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-faults lint lint-sql reprolint ruff mypy race docscheck bench-ml all
+.PHONY: test test-faults test-serving lint lint-sql reprolint ruff mypy race docscheck bench-ml all
 
 all: lint test
 
@@ -51,6 +51,13 @@ test-faults:
 # documented examples cannot drift from the code they demonstrate.
 docscheck:
 	PYTHONPATH=src $(PYTHON) tools/docscheck.py
+
+# The serving layer: the unit/concurrency suite under the lock probe, then
+# the 100+-session mixed-workload benchmark (drops BENCH_serving.json with
+# QPS and p50/p99 under benchmarks/.traces/).
+test-serving:
+	REPROLINT_LOCK_CHECK=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_serving.py
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q benchmarks/bench_serving.py
 
 # The ML ablations: incremental REFRESH MODEL vs full refit by delta size,
 # and the Figure 18 solver comparison through the unified fold kernel.

@@ -121,11 +121,18 @@ def bench_datapoint(request):
     else:
         doc = {"figure": figure, "datapoints": []}
         _BENCH_RESET.add(out_path)
-    doc["datapoints"].append({
+    datapoint = {
         "test": request.node.nodeid,
         "wall_seconds": round(wall, 6),
         "metrics": deltas,
-    })
+    }
+    # Derived figures a benchmark computed itself (QPS, percentiles, ...)
+    # arrive via pytest's record_property and ride along in the datapoint.
+    if request.node.user_properties:
+        datapoint["properties"] = {
+            key: value for key, value in request.node.user_properties
+        }
+    doc["datapoints"].append(datapoint)
     out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 
 

@@ -125,3 +125,16 @@ class ResourceError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulation kernel was used incorrectly."""
+
+
+class ServingError(ReproError):
+    """The serving layer was used incorrectly (closed session, unknown pool)."""
+
+
+class AdmissionError(ServingError):
+    """A statement was rejected by admission control.
+
+    Raised when a resource pool's queue is full or the statement waited
+    longer than the pool's admission timeout for an execution slot.  The
+    statement did **not** run; clients may retry against a less loaded pool.
+    """

@@ -32,6 +32,9 @@ FAULT_SITES: dict[str, str] = {
     "dfs.read": "DFS blob fetch: replica loss on the read path",
     "ml.fold.step": "unified solver drivers (fold_fit/sgd_fit): master "
                     "failure between fan-outs, once per iteration or epoch",
+    "serving.admit": "serving pool worker at slot grant: a stall holds the "
+                     "slot (queue backs up, admissions time out); an error "
+                     "fails the admitted statement",
 }
 
 

@@ -262,6 +262,31 @@ CATALOG: dict[str, InstrumentSpec] = {
         _spec("rdd_cache_hits", "counter", "1",
               "RDD partition computations served from cache.",
               "repro.spark.rdd"),
+        # -- repro.serving -----------------------------------------------------
+        _spec("sessions_active", "gauge", "1",
+              "Serving sessions currently open against the Server.",
+              "repro.serving.server"),
+        _spec("statements_served", "counter", "1",
+              "Statements completed through serving sessions (cached or run).",
+              "repro.serving.server"),
+        _spec("statements_rejected", "counter", "1",
+              "Statements refused by admission control (queue full/timeout).",
+              "repro.serving.pools"),
+        _spec("admission_queue_seconds", "histogram", "seconds",
+              "Time admitted statements waited for a pool execution slot.",
+              "repro.serving.pools"),
+        _spec("plan_cache_hits", "counter", "1",
+              "Statements that reused a cached parse + semantic analysis.",
+              "repro.serving.cache"),
+        _spec("plan_cache_misses", "counter", "1",
+              "Statements that parsed and analyzed fresh (cache cold/evicted).",
+              "repro.serving.cache"),
+        _spec("result_cache_hits", "counter", "1",
+              "SELECT statements answered from the epoch-keyed result cache.",
+              "repro.serving.cache"),
+        _spec("result_cache_misses", "counter", "1",
+              "Cacheable SELECTs that executed because no fresh entry existed.",
+              "repro.serving.cache"),
     ]
 }
 

@@ -1,0 +1,39 @@
+"""The high-concurrency serving layer.
+
+The paper's pipeline ends with in-database prediction "under heavy traffic
+from millions of users"; this package is the front door that makes that
+traffic shape survivable.  A :class:`Server` fronts one
+:class:`~repro.vertica.cluster.VerticaCluster` with:
+
+* :class:`Session` handles — the unit a client holds; every statement a
+  session executes is admitted through a named resource pool;
+* named resource pools (:class:`PoolConfig`) — per-pool max concurrency
+  (optionally derived from a memory budget reserved through the YARN
+  broker), a bounded admission queue, and an admission timeout with clean
+  :class:`~repro.errors.AdmissionError` rejections;
+* a prepared-statement **plan cache** — parse + semantic analysis happen
+  once per SQL text and are re-executed per call;
+* an epoch-keyed **result cache** — SELECT results keyed on the plan
+  fingerprint plus the referenced tables' invalidation tokens, so any
+  committed INSERT/DELETE/UPDATE or Tuple Mover purge invalidates
+  naturally through the MVCC epoch clock.
+
+See ``docs/serving.md`` for the operations walkthrough.
+"""
+
+from repro.errors import AdmissionError, ServingError
+from repro.serving.cache import PlanCache, PreparedStatement, ResultCache
+from repro.serving.pools import PoolConfig, ResourcePool
+from repro.serving.server import Server, Session
+
+__all__ = [
+    "AdmissionError",
+    "PlanCache",
+    "PoolConfig",
+    "PreparedStatement",
+    "ResourcePool",
+    "ResultCache",
+    "Server",
+    "ServingError",
+    "Session",
+]

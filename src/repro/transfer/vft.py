@@ -219,6 +219,9 @@ class ExportToDistributedR(TransformFunction):
     """
 
     name = "ExportToDistributedR"
+    # Each invocation streams frames into live R worker sockets; replaying
+    # a cached summary row would silently skip the transfer itself.
+    cacheable = False
 
     def signature(self) -> UdtfSignature:
         # At least one exported column; 'target' must carry a registered

@@ -34,7 +34,15 @@ class Catalog:
         self._lock = threading.Lock()
         self._tables: dict[str, "Table"] = {}
         self._udtfs: dict[str, "TransformFunction"] = {}
+        # Bumped by every DDL change (table create/drop, UDTF registration)
+        # so prepared-plan caches can discard analyses bound to stale schema.
+        self._ddl_version = 0
         self.epochs = EpochClock()
+
+    def ddl_version(self) -> int:
+        """Monotonic counter of catalog shape changes (plan-cache key)."""
+        with self._lock:
+            return self._ddl_version
 
     # -- tables ---------------------------------------------------------
 
@@ -44,6 +52,7 @@ class Catalog:
             if key in self._tables:
                 raise CatalogError(f"table {table.name!r} already exists")
             self._tables[key] = table
+            self._ddl_version += 1
 
     def get_table(self, name: str) -> "Table":
         with self._lock:
@@ -59,6 +68,8 @@ class Catalog:
     def drop_table(self, name: str, if_exists: bool = False) -> bool:
         with self._lock:
             existed = self._tables.pop(name.lower(), None) is not None
+            if existed:
+                self._ddl_version += 1
         if not existed and not if_exists:
             raise CatalogError(f"table {name!r} does not exist")
         return existed
@@ -85,6 +96,7 @@ class Catalog:
             if key in self._udtfs and not replace:
                 raise CatalogError(f"transform function {udtf.name!r} already registered")
             self._udtfs[key] = udtf
+            self._ddl_version += 1
 
     def get_udtf(self, name: str) -> "TransformFunction":
         with self._lock:

@@ -148,6 +148,11 @@ class VerticaCluster:
 
     # -- query execution ---------------------------------------------------------
 
+    @property
+    def executor(self) -> QueryExecutor:
+        """The statement executor (the serving layer fronts it directly)."""
+        return self._executor
+
     def sql(self, query: str, user: str = "dbadmin") -> ResultSet:
         """Parse and execute one SQL statement.
 

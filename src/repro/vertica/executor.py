@@ -107,8 +107,16 @@ class QueryExecutor:
 
     # -- statement dispatch ---------------------------------------------------
 
-    def execute(self, stmt: ast.Statement, user: str = "dbadmin") -> ResultSet:
-        resolved = self._analyze(stmt)
+    def execute(self, stmt: ast.Statement, user: str = "dbadmin",
+                resolved: ResolvedQuery | None = None) -> ResultSet:
+        """Dispatch one parsed statement.
+
+        ``resolved`` lets a prepared-statement cache (the serving layer's
+        plan cache) supply a prior semantic analysis of the *same* statement
+        text and skip the re-analysis; plain callers leave it ``None``.
+        """
+        if resolved is None:
+            resolved = self._analyze(stmt)
         if isinstance(stmt, ast.Select):
             return self._execute_select(stmt, user, resolved)
         if isinstance(stmt, ast.CreateTable):
@@ -137,6 +145,10 @@ class QueryExecutor:
         if isinstance(stmt, ast.Profile):
             return self._execute_profile(stmt.query, user, resolved)
         raise ExecutionError(f"unsupported statement type {type(stmt).__name__}")
+
+    def analyze(self, stmt: ast.Statement) -> ResolvedQuery:
+        """Public semantic-analysis entry point (prepared statements)."""
+        return self._analyze(stmt)
 
     def _analyze(self, stmt: ast.Statement) -> ResolvedQuery:
         """Static semantic analysis: reject malformed statements before any

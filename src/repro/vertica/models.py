@@ -83,6 +83,9 @@ class RModelsCatalog:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._records: dict[str, ModelRecord] = {}
+        # Bumped on every add/drop so result caches keyed on the model
+        # catalog observe redeploys, refreshes, and drops.
+        self._version = 0
 
     def add(self, record: ModelRecord, replace: bool = False, user: str | None = None) -> None:
         key = record.model.lower()
@@ -97,6 +100,12 @@ class RModelsCatalog:
                         f"user {acting!r} may not replace model {record.model!r}"
                     )
             self._records[key] = record
+            self._version += 1
+
+    def version(self) -> int:
+        """Monotonic counter bumped by every add/drop (cache-key input)."""
+        with self._lock:
+            return self._version
 
     def get(self, model: str, user: str | None = None,
             privilege: str = Privilege.USAGE) -> ModelRecord:
@@ -124,6 +133,7 @@ class RModelsCatalog:
                     f"user {user!r} may not drop model {model!r}"
                 )
             del self._records[model.lower()]
+            self._version += 1
             return record
 
     def grant(self, model: str, user: str, privilege: str,

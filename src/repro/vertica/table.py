@@ -23,6 +23,7 @@ use outside a cluster.  Cluster scan paths always resolve a real snapshot.
 
 from __future__ import annotations
 
+import itertools
 import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -45,6 +46,11 @@ __all__ = ["Table", "Segment", "ROWID_COLUMN"]
 
 ROWID_COLUMN = "_rowid"
 DEFAULT_ROWGROUP_ROWS = 65_536
+
+# Process-wide unique table ids.  A DROP TABLE / CREATE TABLE cycle under
+# the same name produces a table with a fresh uid, so cache keys built from
+# invalidation tokens can never alias the old table's contents.
+_TABLE_UIDS = itertools.count(1)
 
 # The epoch a ``snapshot=None`` scan reads at: beyond every stamp, so it
 # sees all storage and applies every delete — exactly the pre-MVCC view.
@@ -765,6 +771,12 @@ class Table:
         self.node_count = node_count
         self._lock = threading.Lock()
         self._next_rowid = 0
+        self.uid = next(_TABLE_UIDS)
+        # Invalidation state for epoch-keyed result caching: the commit
+        # epoch of the latest mutation and a count of Tuple Mover purges
+        # (purges rewrite storage without allocating an epoch).
+        self._mutation_epoch = 0
+        self._purge_count = 0
         # Bound by the owning cluster; a standalone Table has no epoch
         # clock and stamps everything with epoch 0 (always visible).
         self.epochs: "EpochClock | None" = None
@@ -826,6 +838,30 @@ class Table:
 
     def has_column(self, name: str) -> bool:
         return any(c.name == name for c in self.user_schema)
+
+    def note_commit(self, epoch: int) -> None:
+        """Record ``epoch`` as the latest mutation of this table.
+
+        Mutators call this **before** ``EpochClock.commit`` makes the epoch
+        visible, so any reader whose snapshot includes the new data observes
+        the bumped invalidation token afterwards (the clock's internal lock
+        orders the token write before the watermark advance).
+        """
+        with self._lock:
+            if epoch > self._mutation_epoch:
+                self._mutation_epoch = epoch
+
+    def note_purge(self) -> None:
+        """Record a Tuple Mover purge (storage rewritten with no epoch)."""
+        with self._lock:
+            self._purge_count += 1
+
+    def invalidation_token(self) -> tuple[int, int, int]:
+        """``(uid, last mutation epoch, purge count)`` — changes whenever a
+        committed INSERT/DELETE/UPDATE or a mergeout purge could alter what
+        a latest-snapshot scan of this table returns."""
+        with self._lock:
+            return (self.uid, self._mutation_epoch, self._purge_count)
 
     def resolve_snapshot(self, at_epoch: int | None = None) -> "Snapshot | None":
         """The snapshot a statement should read at (``None`` → latest
@@ -913,6 +949,7 @@ class Table:
                 self.epochs.abort(commit_epoch)
             raise
         if own_epoch:
+            self.note_commit(commit_epoch)
             self.epochs.commit(commit_epoch)
         if not direct and self.telemetry is not None:
             self.telemetry.gauge_add("wos_rows", rows)

@@ -213,6 +213,8 @@ class TupleMover:
                             )
                         total_bytes += nbytes
                         total_purged += purged
+                        if purged:
+                            table.note_purge()
                         if purged and segment in table.segments:
                             self.cluster.telemetry.gauge_add(
                                 "delete_vector_rows", -purged)

@@ -56,6 +56,7 @@ def execute_delete(cluster: "VerticaCluster", stmt: "ast.Delete") -> int:
                 segment.delete_vector.rollback_epoch(epoch)
             epochs.abort(epoch)
             raise
+        table.note_commit(epoch)
         epochs.commit(epoch)
     cluster.telemetry.gauge_add("delete_vector_rows", added)
     cluster.telemetry.add("rows_deleted", total)
@@ -107,6 +108,7 @@ def execute_update(cluster: "VerticaCluster", stmt: "ast.Update") -> int:
                 segment.rollback_epoch(epoch)
             epochs.abort(epoch)
             raise
+        table.note_commit(epoch)
         epochs.commit(epoch)
     cluster.telemetry.gauge_add("delete_vector_rows", added)
     cluster.telemetry.add("rows_updated", total)

@@ -84,6 +84,12 @@ class TransformFunction:
 
     name: str = ""
 
+    # Whether invocations are pure functions of table contents and model
+    # catalog state.  Functions with external side effects (e.g. streaming
+    # frames to R workers) set this False so the serving result cache never
+    # replays a stored result instead of re-running the effect.
+    cacheable: bool = True
+
     def signature(self) -> UdtfSignature:
         """Declared calling convention; permissive unless overridden."""
         return UdtfSignature()

@@ -130,3 +130,44 @@ def test_every_fault_site_is_documented():
         f"sites in FAULT_SITES but absent from docs/fault_tolerance.md: "
         f"{sorted(missing)}"
     )
+
+
+# ---------------------------------------------------------------------------
+# Architecture map: docs/architecture.md covers every src/repro/ package
+# ---------------------------------------------------------------------------
+
+def repro_packages() -> set[str]:
+    """Dotted names of every package under ``src/repro/`` (``repro.x.y``)."""
+    src = Path(__file__).parent.parent / "src" / "repro"
+    packages = set()
+    for init in src.rglob("__init__.py"):
+        relative = init.parent.relative_to(src.parent)
+        packages.add(".".join(relative.parts))
+    packages.discard("repro")
+    return packages
+
+
+def test_architecture_map_mentions_every_package():
+    """The system map stays complete: a new src/repro/ package must appear
+    in docs/architecture.md (by dotted name) before it ships."""
+    doc = Path(__file__).parent.parent / "docs" / "architecture.md"
+    assert doc.exists(), "docs/architecture.md is missing"
+    text = doc.read_text()
+    missing = {pkg for pkg in repro_packages() if pkg not in text}
+    assert not missing, (
+        f"packages absent from docs/architecture.md: {sorted(missing)}; "
+        "add each to the system map (one line in the right subsystem section)"
+    )
+
+
+def test_architecture_map_links_the_subsystem_docs():
+    """The map cross-links every other doc in docs/."""
+    docs = Path(__file__).parent.parent / "docs"
+    text = (docs / "architecture.md").read_text()
+    missing = {
+        path.name for path in docs.glob("*.md")
+        if path.name != "architecture.md" and f"({path.name})" not in text
+    }
+    assert not missing, (
+        f"docs not linked from docs/architecture.md: {sorted(missing)}"
+    )

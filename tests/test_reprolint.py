@@ -700,6 +700,134 @@ def test_model_type_drift_clean_on_real_tree():
 
 
 # ---------------------------------------------------------------------------
+# serving-registry-drift (RL905, project scope)
+# ---------------------------------------------------------------------------
+
+def _serving_manifest_project(tmp_path: Path,
+                              manifest_body: str) -> ProjectContext:
+    """Fake tree: registries with one serving-owned entry each, plus the
+    serving instruments manifest under test."""
+    metrics = tmp_path / "src/repro/obs/metrics.py"
+    metrics.parent.mkdir(parents=True)
+    metrics.write_text(
+        textwrap.dedent(
+            """
+            def _spec(name, kind, unit, description, module):
+                return name
+
+            CATALOG = {
+                "rows.scanned": _spec(
+                    "rows.scanned", "counter", "1", "rows",
+                    "repro.vertica.engine"),
+                "sessions_active": _spec(
+                    "sessions_active", "gauge", "1", "open sessions",
+                    "repro.serving.server"),
+            }
+            """
+        ),
+        encoding="utf-8",
+    )
+
+    sites = tmp_path / "src/repro/faults/sites.py"
+    sites.parent.mkdir(parents=True)
+    sites.write_text(
+        'FAULT_SITES = {"dr.task": "task", "serving.admit": "slot grant"}\n',
+        encoding="utf-8",
+    )
+
+    trace = tmp_path / "src/repro/obs/trace.py"
+    trace.write_text(
+        'SPAN_TAXONOMY = {"query": "one statement", '
+        '"serve.admit": "queue wait"}\n',
+        encoding="utf-8",
+    )
+
+    manifest = tmp_path / "src/repro/serving/instruments.py"
+    manifest.parent.mkdir(parents=True)
+    manifest.write_text(textwrap.dedent(manifest_body), encoding="utf-8")
+
+    return ProjectContext(tmp_path, [metrics, sites, trace, manifest])
+
+
+COMPLETE_SERVING_MANIFEST = """
+    SERVING_METRICS = ("sessions_active",)
+    SERVING_SPANS = ("serve.admit",)
+    SERVING_FAULT_SITES = ("serving.admit",)
+"""
+
+
+def test_serving_manifest_complete_passes(tmp_path):
+    project = _serving_manifest_project(tmp_path, COMPLETE_SERVING_MANIFEST)
+    checker = get_checker("serving-registry-drift")
+    assert list(checker.check_project(project)) == []
+
+
+def test_serving_manifest_catches_unregistered_names(tmp_path):
+    """Forward direction: every manifest entry must exist in its registry."""
+    project = _serving_manifest_project(
+        tmp_path,
+        """
+        SERVING_METRICS = ("sessions_active", "sessions_actve")
+        SERVING_SPANS = ("serve.admit",)
+        SERVING_FAULT_SITES = ("serving.admit",)
+        """,
+    )
+    checker = get_checker("serving-registry-drift")
+    violations = list(checker.check_project(project))
+    assert len(violations) == 1
+    assert violations[0].code == "RL905"
+    assert "sessions_actve" in violations[0].message
+    assert "does not exist" in violations[0].message
+
+
+def test_serving_manifest_catches_unlisted_registry_entries(tmp_path):
+    """Reverse direction: a serving-owned registry entry (serve.* span,
+    serving.* site, repro.serving-module metric) must be in the manifest."""
+    project = _serving_manifest_project(
+        tmp_path,
+        """
+        SERVING_METRICS = ("sessions_active",)
+        SERVING_SPANS = ()
+        SERVING_FAULT_SITES = ("serving.admit",)
+        """,
+    )
+    checker = get_checker("serving-registry-drift")
+    violations = list(checker.check_project(project))
+    assert len(violations) == 1
+    assert "serve.admit" in violations[0].message
+    assert "missing from SERVING_SPANS" in violations[0].message
+
+
+def test_serving_manifest_missing_file_is_a_finding(tmp_path):
+    project = _serving_manifest_project(tmp_path, COMPLETE_SERVING_MANIFEST)
+    (tmp_path / "src/repro/serving/instruments.py").unlink()
+    checker = get_checker("serving-registry-drift")
+    violations = list(checker.check_project(project))
+    assert len(violations) == 1
+    assert "cannot extract the serving instruments manifest" \
+        in violations[0].message
+
+
+def test_serving_manifest_missing_tuple_is_a_finding(tmp_path):
+    project = _serving_manifest_project(
+        tmp_path,
+        """
+        SERVING_METRICS = ("sessions_active",)
+        SERVING_SPANS = ("serve.admit",)
+        """,
+    )
+    checker = get_checker("serving-registry-drift")
+    violations = list(checker.check_project(project))
+    assert any("SERVING_FAULT_SITES tuple" in v.message for v in violations)
+
+
+def test_serving_registry_drift_clean_on_real_tree():
+    """The live manifest agrees with the live registries, both directions."""
+    checker = get_checker("serving-registry-drift")
+    assert list(checker.check_project(ProjectContext(REPO_ROOT, []))) == []
+
+
+# ---------------------------------------------------------------------------
 # suppressions and baseline
 # ---------------------------------------------------------------------------
 

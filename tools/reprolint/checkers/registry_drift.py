@@ -23,6 +23,14 @@ registry module:
   function in ``src/repro/deploy/predict_functions.py``.  A model family
   missing either cannot be deployed or cannot be scored in SQL — a gap
   only discovered at runtime.
+* **RL905 (serving-registry-drift)** — the serving layer's manifest
+  (``SERVING_METRICS`` / ``SERVING_SPANS`` / ``SERVING_FAULT_SITES`` in
+  ``src/repro/serving/instruments.py``) must agree with the central
+  registries in **both** directions: every manifest name must exist in
+  its registry, and every serving-owned registry entry (metrics declared
+  under ``repro.serving`` modules, ``serve.*`` spans, ``serving.*`` fault
+  sites) must be listed in the manifest.  The manifest is what keeps
+  ``docs/serving.md``'s operations tables complete.
 
 All are project-scope and apply to ``src/`` only: tests deliberately
 invent ad-hoc counters, sites, and spans to exercise the dynamic paths.
@@ -48,6 +56,10 @@ TRACE_MODULE = "src/repro/obs/trace.py"
 ALGORITHMS_DIR = "src/repro/algorithms/"
 SERIALIZE_MODULE = "src/repro/deploy/serialize.py"
 PREDICT_MODULE = "src/repro/deploy/predict_functions.py"
+SERVING_MANIFEST = "src/repro/serving/instruments.py"
+SERVING_METRICS_PREFIX = "repro.serving"
+SERVING_SPAN_PREFIX = "serve."
+SERVING_SITE_PREFIX = "serving."
 
 #: telemetry-facade methods whose first argument is a metric name.
 _TELEMETRY_METHODS = frozenset({"add", "observe_max", "gauge_add"})
@@ -357,3 +369,114 @@ class ModelTypeDriftChecker(Checker):
                         "(expected_model_type or make_prediction_function) "
                         "or the model cannot be scored in SQL",
                     )
+
+
+def _spec_modules(project: ProjectContext) -> dict[str, str] | None:
+    """Declared metric name → emitting module, from ``_spec(...)`` calls."""
+    source = project.read(METRICS_MODULE)
+    if source is None:
+        return None
+    modules: dict[str, str] = {}
+    for node in ast.walk(ast.parse(source, filename=METRICS_MODULE)):
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                and node.func.id == "_spec":
+            name = _first_str_arg(node)
+            if name is None or len(node.args) < 5:
+                continue
+            module = node.args[4]
+            if isinstance(module, ast.Constant) and isinstance(module.value, str):
+                modules[name] = module.value
+    return modules or None
+
+
+def _sequence_assignment(tree: ast.Module, variable: str) -> ast.expr | None:
+    """The value node of a module-level ``variable = (...)`` assignment."""
+    for node in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            targets, value = [node.target], node.value
+        if any(isinstance(t, ast.Name) and t.id == variable for t in targets):
+            return value
+    return None
+
+
+@register
+class ServingRegistryDriftChecker(Checker):
+    rule = "serving-registry-drift"
+    code = "RL905"
+    description = (
+        "the serving manifest (src/repro/serving/instruments.py) must list "
+        "exactly the serving-owned metrics, spans, and fault sites that the "
+        "central registries declare"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        metric_modules = _spec_modules(project)
+        if metric_modules is None:
+            yield _registry_error(self, METRICS_MODULE, "the metric CATALOG")
+            return
+        spans = _dict_literal_keys(project, TRACE_MODULE, "SPAN_TAXONOMY")
+        if spans is None:
+            yield _registry_error(self, TRACE_MODULE, "SPAN_TAXONOMY")
+            return
+        sites = _dict_literal_keys(project, SITES_MODULE, "FAULT_SITES")
+        if sites is None:
+            yield _registry_error(self, SITES_MODULE, "FAULT_SITES")
+            return
+        manifest_source = project.read(SERVING_MANIFEST)
+        if manifest_source is None:
+            yield _registry_error(
+                self, SERVING_MANIFEST, "the serving instruments manifest")
+            return
+        manifest = FileContext(
+            project.root / SERVING_MANIFEST, SERVING_MANIFEST, manifest_source)
+        try:
+            manifest.tree
+        except SyntaxError:
+            yield _registry_error(
+                self, SERVING_MANIFEST, "the serving instruments manifest")
+            return
+        serving_metrics = {
+            name for name, module in metric_modules.items()
+            if module.startswith(SERVING_METRICS_PREFIX)
+        }
+        checks = [
+            ("SERVING_METRICS", set(metric_modules), serving_metrics,
+             f"the CATALOG of {METRICS_MODULE}"),
+            ("SERVING_SPANS", spans,
+             {s for s in spans if s.startswith(SERVING_SPAN_PREFIX)},
+             f"the SPAN_TAXONOMY of {TRACE_MODULE}"),
+            ("SERVING_FAULT_SITES", sites,
+             {s for s in sites if s.startswith(SERVING_SITE_PREFIX)},
+             f"FAULT_SITES of {SITES_MODULE}"),
+        ]
+        for variable, registry, owned, registry_desc in checks:
+            value = _sequence_assignment(manifest.tree, variable)
+            if value is None or not isinstance(value, (ast.Tuple, ast.List)):
+                yield _registry_error(
+                    self, SERVING_MANIFEST, f"the {variable} tuple")
+                continue
+            listed: set[str] = set()
+            for element in value.elts:
+                if not isinstance(element, ast.Constant) \
+                        or not isinstance(element.value, str):
+                    continue
+                listed.add(element.value)
+                if element.value not in registry:
+                    yield self.violation(
+                        manifest, element,
+                        f"{variable} lists {element.value!r}, which does not "
+                        f"exist in {registry_desc}; register it (or fix the "
+                        "typo) so the serving surface stays documented",
+                    )
+            for missing in sorted(owned - listed):
+                yield self.violation(
+                    manifest, value,
+                    f"serving-owned name {missing!r} is declared in "
+                    f"{registry_desc} but missing from {variable}; add it so "
+                    "docs/serving.md's operations tables stay complete",
+                )
