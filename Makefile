@@ -5,7 +5,7 @@
 
 PYTHON ?= python
 
-.PHONY: test test-faults test-serving lint lint-sql reprolint ruff mypy race docscheck bench-ml all
+.PHONY: test test-faults test-serving test-aqp lint lint-sql reprolint ruff mypy race docscheck bench-ml all
 
 all: lint test
 
@@ -58,6 +58,13 @@ docscheck:
 test-serving:
 	REPROLINT_LOCK_CHECK=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_serving.py
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q benchmarks/bench_serving.py
+
+# Approximate query processing: the sample/WITHIN suite under the lock
+# probe, then the exact-vs-approximate benchmark (drops BENCH_aqp.json
+# with speedup and realized error under benchmarks/.traces/).
+test-aqp:
+	REPROLINT_LOCK_CHECK=1 PYTHONPATH=src $(PYTHON) -m pytest -x -q tests/test_aqp.py
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q benchmarks/bench_aqp.py
 
 # The ML ablations: incremental REFRESH MODEL vs full refit by delta size,
 # and the Figure 18 solver comparison through the unified fold kernel.

@@ -1,0 +1,108 @@
+"""Approximate query processing: sampled aggregates vs exact scans.
+
+The paper's predictive pipeline leans on fast in-database aggregation;
+this figure measures what the AQP subsystem buys on that path.  A 1%
+uniform sample answers ``WITHIN 5% ERROR`` aggregates by scanning ~1% of
+the rows and scaling up with Horvitz–Thompson weights — the headline
+datapoint asserts the approximate path is at least 5× faster than the
+exact scan while its realized relative error stays inside the requested
+bound (and the reported CI covers the exact answer).  A second datapoint
+measures maintenance: folding a trickle delta into a stored sample vs
+rebuilding it from scratch.
+
+Each datapoint lands in ``BENCH_aqp.json`` with the realized error
+promoted to a top-level field (see ``conftest.bench_datapoint``), so a
+harness can threshold accuracy without digging into properties.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import build_numeric_table
+
+from repro.aqp.refresh import refresh_sample
+
+ROWS = 400_000
+NODES = 3
+RATE_PERCENT = 1
+ERROR_BOUND = 0.05
+REPS = 10
+
+EXACT_SQL = "SELECT SUM(k) FROM bench"
+APPROX_SQL = f"SELECT SUM(k) FROM bench WITHIN {int(ERROR_BOUND * 100)}% ERROR"
+
+
+def _timed(fn, reps=REPS):
+    t0 = time.perf_counter()
+    for _ in range(reps):
+        fn()
+    return (time.perf_counter() - t0) / reps
+
+
+def test_aqp_speedup_at_one_percent_sampling(record_property):
+    cluster, _ = build_numeric_table(NODES, ROWS, features=1)
+    cluster.sql(
+        f"CREATE SAMPLE s ON bench UNIFORM RATE {RATE_PERCENT}% SEED 2")
+
+    exact = float(cluster.sql(EXACT_SQL).scalar())
+    approx = cluster.sql(APPROX_SQL)
+    estimate = float(approx.column("estimate")[0])
+    ci_low = float(approx.column("ci_low")[0])
+    ci_high = float(approx.column("ci_high")[0])
+    fraction = float(approx.column("sample_fraction")[0])
+    assert fraction < 1.0, "the bound was not met: answer fell back to exact"
+
+    realized_error = abs(estimate - exact) / abs(exact)
+    assert realized_error <= ERROR_BOUND
+    assert ci_low <= exact <= ci_high
+
+    exact_wall = _timed(lambda: cluster.sql(EXACT_SQL))
+    approx_wall = _timed(lambda: cluster.sql(APPROX_SQL))
+    speedup = exact_wall / approx_wall
+    assert speedup >= 5.0, (
+        f"approximate path only {speedup:.1f}x faster "
+        f"({approx_wall * 1e3:.1f}ms vs {exact_wall * 1e3:.1f}ms exact)")
+
+    record_property("rows", ROWS)
+    record_property("sample_rate", RATE_PERCENT / 100.0)
+    record_property("sample_fraction", round(fraction, 6))
+    record_property("nominal_error_bound", ERROR_BOUND)
+    record_property("realized_error", round(realized_error, 6))
+    record_property("ci_covers_exact", bool(ci_low <= exact <= ci_high))
+    record_property("exact_ms", round(exact_wall * 1e3, 3))
+    record_property("approx_ms", round(approx_wall * 1e3, 3))
+    record_property("speedup", round(speedup, 2))
+
+
+def test_aqp_incremental_fold_beats_rebuild(record_property):
+    cluster, _ = build_numeric_table(NODES, ROWS // 2, features=1)
+    cluster.sql(
+        f"CREATE SAMPLE s ON bench UNIFORM RATE {RATE_PERCENT}% SEED 2")
+    refresh_sample(cluster, "s")  # absorb the build's own commit epoch
+    table = cluster.catalog.get_table("bench")
+    import numpy as np
+
+    delta = 2_000
+    table.insert({
+        "k": np.arange(delta, dtype=np.int64),
+        "c0": np.zeros(delta),
+    }, direct=False)
+
+    t0 = time.perf_counter()
+    result = refresh_sample(cluster, "s")
+    fold_wall = time.perf_counter() - t0
+    assert result.strategy == "incremental"
+
+    t0 = time.perf_counter()
+    cluster.sql(
+        f"CREATE SAMPLE s2 ON bench UNIFORM RATE {RATE_PERCENT}% SEED 2")
+    rebuild_wall = time.perf_counter() - t0
+
+    # Folding reads only the delta; rebuilding scans the whole base table.
+    assert fold_wall < rebuild_wall
+    record_property("base_rows", ROWS // 2)
+    record_property("delta_rows", delta)
+    record_property("fold_ms", round(fold_wall * 1e3, 3))
+    record_property("rebuild_ms", round(rebuild_wall * 1e3, 3))
+    record_property("fold_speedup", round(rebuild_wall / fold_wall, 2))

@@ -27,6 +27,7 @@ from repro.algorithms.glm import GlmModel
 from repro.deploy import deploy_model, grant_model
 from repro.serving import PoolConfig, Server
 from repro.vertica import HashSegmentation, VerticaCluster
+from repro.vertica.models import Privilege
 
 SESSIONS = 104
 STATEMENTS_PER_SESSION = 8
@@ -37,6 +38,10 @@ OLAP_TEXTS = [
     "SELECT AVG(b) AS m FROM pts",
     "SELECT MIN(a) AS lo, MAX(a) AS hi FROM pts",
     "SELECT COUNT(*) AS n FROM pts WHERE a > 0",
+]
+APPROX_TEXTS = [
+    "SELECT COUNT(*) FROM pts WITHIN 10% ERROR",
+    "SELECT COUNT(*) FROM pts WHERE a > 0 WITHIN 25% ERROR",
 ]
 PREDICT_TEXT = ("SELECT glmPredict(a, b USING PARAMETERS model='m') "
                 "OVER (PARTITION NODES) FROM pts")
@@ -58,14 +63,21 @@ def _build_cluster() -> VerticaCluster:
         null_deviance=0.0, converged=True, n_observations=ROWS), "m")
     for i in range(8):
         grant_model(cluster, "m", f"u{i}")
+    cluster.sql("CREATE SAMPLE pts_sample ON pts UNIFORM RATE 10% SEED 7")
+    for i in range(8):
+        cluster.aqp.grant("pts_sample", f"u{i}", Privilege.USAGE,
+                          granting_user="dbadmin")
     return cluster
 
 
 def _statement_for(session_index: int, step: int) -> str:
-    """The mixed workload: ~60% OLAP, ~20% predict, ~20% trickle insert."""
+    """The mixed workload: ~50% OLAP, ~10% approximate aggregates,
+    ~20% predict, ~20% trickle insert."""
     slot = (session_index + step) % 10
-    if slot < 6:
+    if slot < 5:
         return OLAP_TEXTS[(session_index * 7 + step) % len(OLAP_TEXTS)]
+    if slot < 6:
+        return APPROX_TEXTS[(session_index + step) % len(APPROX_TEXTS)]
     if slot < 8:
         return PREDICT_TEXT
     return (f"INSERT INTO pts VALUES "
@@ -112,8 +124,9 @@ def test_serving_mixed_load_qps_p99(record_property):
     assert t.get("result_cache_hits") > 0
 
     # Bit-identity: every hot cached SELECT equals uncached re-execution.
+    assert t.get("aqp_rewrites") > 0  # approximate class was served
     with server.session(pool="serve", user="u0") as s:
-        for sql in OLAP_TEXTS + [PREDICT_TEXT]:
+        for sql in OLAP_TEXTS + APPROX_TEXTS + [PREDICT_TEXT]:
             hits_before = t.get("result_cache_hits")
             s.execute(sql)                       # warm (or refresh) the key
             cached = s.execute(sql)

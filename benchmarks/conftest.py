@@ -129,9 +129,15 @@ def bench_datapoint(request):
     # Derived figures a benchmark computed itself (QPS, percentiles, ...)
     # arrive via pytest's record_property and ride along in the datapoint.
     if request.node.user_properties:
-        datapoint["properties"] = {
+        properties = {
             key: value for key, value in request.node.user_properties
         }
+        # Accuracy is a headline figure for approximate-query benchmarks:
+        # promote it so harnesses can threshold it without digging into
+        # per-test properties.
+        if "realized_error" in properties:
+            datapoint["realized_error"] = properties["realized_error"]
+        datapoint["properties"] = properties
     doc["datapoints"].append(datapoint)
     out_path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
 

@@ -1,0 +1,39 @@
+"""Approximate query processing: stored samples, the ``WITHIN n% ERROR``
+rewriter, and epoch-incremental sample maintenance.
+
+Samples are first-class stored artifacts — ordinary segmented tables plus
+provenance in the :class:`~repro.aqp.catalog.AqpCatalog` — so DFS
+replication, delete vectors, the WOS, and result-cache invalidation
+tokens all reuse.  ``SELECT COUNT/SUM/AVG ... WITHIN n% ERROR`` queries
+are answered from the best qualifying sample via Horvitz–Thompson
+scale-up with CLT confidence intervals, falling back to exact execution
+when the realized half-width misses the bound; the Tuple Mover folds
+trickle-inserted base rows into samples between its passes.  See
+``docs/aqp.md`` for the walkthrough.
+"""
+
+from repro.aqp.build import build_sample, drop_sample, materialize_sample
+from repro.aqp.catalog import AqpCatalog, SampleRecord
+from repro.aqp.estimator import Estimate, ht_estimate, keep_mask
+from repro.aqp.refresh import (
+    SampleRefreshResult,
+    auto_refresh_samples,
+    refresh_sample,
+)
+from repro.aqp.rewrite import ApproximateAnswer, answer_within
+
+__all__ = [
+    "AqpCatalog",
+    "SampleRecord",
+    "Estimate",
+    "ht_estimate",
+    "keep_mask",
+    "build_sample",
+    "drop_sample",
+    "materialize_sample",
+    "SampleRefreshResult",
+    "refresh_sample",
+    "auto_refresh_samples",
+    "ApproximateAnswer",
+    "answer_within",
+]

@@ -1,0 +1,179 @@
+"""The AQP sample catalog: provenance and permissions for stored samples.
+
+A sample's *rows* live in an ordinary segmented table (so DFS replication,
+delete vectors, the WOS, and invalidation tokens all reuse); this module
+keeps the queryable metadata: which base table the sample summarizes, the
+nominal rate, per-stratum inclusion rates and population counts, the
+deterministic seed, and the base-table ``commit_epoch`` the sample
+currently reflects.  Access control mirrors the ``R_Models`` catalog —
+``USAGE`` lets a user's ``WITHIN ... ERROR`` queries be answered from the
+sample, ``MODIFY`` is required to refresh or drop it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import CatalogError, PermissionDeniedError
+from repro.vertica.models import Privilege
+
+__all__ = ["SampleRecord", "AqpCatalog", "sample_dfs_path"]
+
+
+def sample_dfs_path(name: str) -> str:
+    """Where a sample's provenance blob lives in the DFS."""
+    return f"aqp/sample/{name.lower()}"
+
+
+@dataclass
+class SampleRecord:
+    """Provenance for one stored sample.
+
+    ``strata_rates`` maps stratum value -> inclusion rate (empty for
+    uniform samples, where every row is included at ``rate``);
+    ``strata_counts`` holds the exact per-stratum population counts at
+    ``commit_epoch``, which the post-stratified estimators use as known
+    totals.  Both are replaced wholesale by refresh, never mutated in
+    place, so readers holding a record always see one consistent epoch.
+    """
+
+    name: str
+    base_table: str
+    kind: str  # "uniform" | "stratified"
+    rate: float  # nominal inclusion rate, as a fraction in (0, 1]
+    seed: int
+    owner: str
+    strata_column: str | None = None
+    strata_rates: dict[object, float] = field(default_factory=dict)
+    strata_counts: dict[object, int] = field(default_factory=dict)
+    # Base-table snapshot epoch the sample's rows reflect.
+    commit_epoch: int = 0
+    # Population / sample row counts at commit_epoch.
+    base_rows: int = 0
+    sample_rows: int = 0
+    created_at: float = field(default_factory=time.time)
+    grants: dict[str, set[str]] = field(default_factory=dict)
+
+    def allows(self, user: str, privilege: str) -> bool:
+        if user == self.owner:
+            return True
+        return privilege in self.grants.get(user, set())
+
+    def inclusion_rate(self, stratum: object | None = None) -> float:
+        """The inclusion probability for a row (of ``stratum``, if
+        stratified); strata unseen at build time sample at the nominal
+        rate."""
+        if self.kind == "stratified":
+            return float(self.strata_rates.get(stratum, self.rate))
+        return float(self.rate)
+
+
+class AqpCatalog:
+    """Thread-safe registry of the cluster's stored samples."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._records: dict[str, SampleRecord] = {}
+        # Bumped on every add/drop/refresh so result caches keyed on the
+        # sample catalog observe sample lifecycle changes.
+        self._version = 0
+        self._refresh_locks: dict[str, threading.Lock] = {}
+
+    def refresh_lock(self, name: str) -> threading.Lock:
+        """The per-sample lock serializing refresh passes.
+
+        An explicit refresh racing the Tuple Mover's background fold would
+        otherwise read the same ``commit_epoch`` and insert the same delta
+        window twice; whoever acquires second re-reads the record and sees
+        the already-advanced epoch."""
+        with self._lock:
+            return self._refresh_locks.setdefault(name.lower(),
+                                                  threading.Lock())
+
+    def add(self, record: SampleRecord, replace: bool = False,
+            user: str | None = None) -> None:
+        key = record.name.lower()
+        with self._lock:
+            existing = self._records.get(key)
+            if existing is not None:
+                if not replace:
+                    raise CatalogError(f"sample {record.name!r} already exists")
+                acting = user if user is not None else record.owner
+                if not existing.allows(acting, Privilege.MODIFY):
+                    raise PermissionDeniedError(
+                        f"user {acting!r} may not replace sample {record.name!r}"
+                    )
+            self._records[key] = record
+            self._version += 1
+
+    def version(self) -> int:
+        """Monotonic counter bumped by every add/drop (cache-key input)."""
+        with self._lock:
+            return self._version
+
+    def get(self, name: str, user: str | None = None,
+            privilege: str = Privilege.USAGE) -> SampleRecord:
+        with self._lock:
+            record = self._records.get(name.lower())
+        if record is None:
+            raise CatalogError(f"sample {name!r} does not exist")
+        if user is not None and not record.allows(user, privilege):
+            raise PermissionDeniedError(
+                f"user {user!r} lacks {privilege!r} on sample {name!r}"
+            )
+        return record
+
+    def exists(self, name: str) -> bool:
+        with self._lock:
+            return name.lower() in self._records
+
+    def drop(self, name: str, user: str | None = None) -> SampleRecord:
+        with self._lock:
+            record = self._records.get(name.lower())
+            if record is None:
+                raise CatalogError(f"sample {name!r} does not exist")
+            if user is not None and not record.allows(user, Privilege.MODIFY):
+                raise PermissionDeniedError(
+                    f"user {user!r} may not drop sample {name!r}"
+                )
+            del self._records[name.lower()]
+            self._refresh_locks.pop(name.lower(), None)
+            self._version += 1
+            return record
+
+    def grant(self, name: str, user: str, privilege: str,
+              granting_user: str | None = None) -> None:
+        if privilege not in Privilege.ALL:
+            raise CatalogError(f"unknown privilege {privilege!r}")
+        with self._lock:
+            record = self._records.get(name.lower())
+            if record is None:
+                raise CatalogError(f"sample {name!r} does not exist")
+            if granting_user is not None and granting_user != record.owner:
+                raise PermissionDeniedError(
+                    f"only the owner may grant on sample {name!r}"
+                )
+            record.grants.setdefault(user, set()).add(privilege)
+
+    def revoke(self, name: str, user: str, privilege: str,
+               revoking_user: str | None = None) -> None:
+        with self._lock:
+            record = self._records.get(name.lower())
+            if record is None:
+                raise CatalogError(f"sample {name!r} does not exist")
+            if revoking_user is not None and revoking_user != record.owner:
+                raise PermissionDeniedError(
+                    f"only the owner may revoke on sample {name!r}"
+                )
+            record.grants.get(user, set()).discard(privilege)
+
+    def records(self) -> list[SampleRecord]:
+        with self._lock:
+            return sorted(self._records.values(), key=lambda r: r.name)
+
+    def samples_on(self, base_table: str) -> list[SampleRecord]:
+        """Every sample built on ``base_table``, sorted by name."""
+        base = base_table.lower()
+        return [r for r in self.records() if r.base_table.lower() == base]

@@ -1,0 +1,39 @@
+"""The AQP subsystem's observability manifest.
+
+Every metric, span, and fault site the approximate-query-processing layer
+emits is listed here by name.  The ``aqp-registry-drift`` reprolint rule
+(RL906) holds this manifest against the central registries — the metrics
+``CATALOG`` (:mod:`repro.obs.metrics`), the ``SPAN_TAXONOMY``
+(:mod:`repro.obs.trace`), and ``FAULT_SITES`` (:mod:`repro.faults.sites`)
+— in **both** directions: a name listed here but missing from its registry
+fails lint, and so does an AQP-owned registry entry that this manifest
+forgot.  The manifest is what keeps ``docs/aqp.md`` honest about the
+subsystem's complete operational surface.
+"""
+
+from __future__ import annotations
+
+__all__ = ["AQP_METRICS", "AQP_SPANS", "AQP_FAULT_SITES"]
+
+#: Instruments declared under ``repro.aqp.*`` modules in the metrics CATALOG.
+AQP_METRICS: tuple[str, ...] = (
+    "samples_built",
+    "aqp_rewrites",
+    "aqp_fallbacks",
+    "sample_rows_folded",
+    "sample_rebuilds",
+    "sample_staleness_epochs",
+)
+
+#: Span names the AQP layer opens (the ``aqp.*`` slice of SPAN_TAXONOMY).
+AQP_SPANS: tuple[str, ...] = (
+    "aqp.build",
+    "aqp.rewrite",
+    "aqp.refresh",
+)
+
+#: Fault-injection sites owned by the AQP layer (the ``aqp.*`` slice of
+#: FAULT_SITES).
+AQP_FAULT_SITES: tuple[str, ...] = (
+    "aqp.refresh",
+)

@@ -35,6 +35,9 @@ FAULT_SITES: dict[str, str] = {
     "serving.admit": "serving pool worker at slot grant: a stall holds the "
                      "slot (queue backs up, admissions time out); an error "
                      "fails the admitted statement",
+    "aqp.refresh": "sample refresh pass, before any sample mutation: a "
+                   "crash leaves the sample stale but consistent (the next "
+                   "pass re-folds the same window)",
 }
 
 

@@ -287,6 +287,28 @@ CATALOG: dict[str, InstrumentSpec] = {
         _spec("result_cache_misses", "counter", "1",
               "Cacheable SELECTs that executed because no fresh entry existed.",
               "repro.serving.cache"),
+        # -- repro.aqp -----------------------------------------------------
+        _spec("samples_built", "counter", "1",
+              "Stored samples materialized by CREATE SAMPLE.",
+              "repro.aqp.build"),
+        _spec("aqp_rewrites", "counter", "1",
+              "WITHIN queries answered approximately from a stored sample.",
+              "repro.aqp.rewrite"),
+        _spec("aqp_fallbacks", "counter", "1",
+              "WITHIN queries that fell back to exact execution "
+              "(no sample, empty sample, or error bound unmet).",
+              "repro.aqp.rewrite"),
+        _spec("sample_rows_folded", "counter", "rows",
+              "Base-table delta rows folded into samples by REFRESH passes.",
+              "repro.aqp.refresh"),
+        _spec("sample_rebuilds", "counter", "1",
+              "Sample refreshes that fell back to a from-scratch rebuild "
+              "(deletes in the window or AHM advanced past the stamp).",
+              "repro.aqp.refresh"),
+        _spec("sample_staleness_epochs", "gauge", "1",
+              "Epochs between a sample's commit stamp and its base table's "
+              "mutation epoch, observed at each refresh pass.",
+              "repro.aqp.refresh"),
     ]
 }
 

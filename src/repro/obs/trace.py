@@ -67,6 +67,9 @@ SPAN_TAXONOMY: dict[str, str] = {
     "serve.session": "a serving session's lifetime, opened by Server.session",
     "serve.admit": "admission control: queueing for a pool execution slot",
     "serve.execute": "one admitted statement running on a pool worker",
+    "aqp.build": "CREATE SAMPLE materialization (scan, draw, insert)",
+    "aqp.rewrite": "WITHIN-query sample selection and estimation",
+    "aqp.refresh": "one sample refresh pass (fold, rebuild, or noop)",
 }
 
 _span_ids = itertools.count(1)

@@ -57,10 +57,38 @@ __all__ = [
 ]
 
 
+def _strip_comments(sql: str) -> str:
+    """Remove ``--`` line comments without touching string literals.
+
+    A ``--`` inside a single-quoted literal is data, not a comment, so the
+    scan tracks quoting (with ``''`` escapes handled naturally: each quote
+    toggles the state and both characters are kept)."""
+    out: list[str] = []
+    i = 0
+    n = len(sql)
+    in_string = False
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            in_string = not in_string
+            out.append(ch)
+            i += 1
+            continue
+        if not in_string and sql.startswith("--", i):
+            end = sql.find("\n", i)
+            if end == -1:
+                break
+            i = end  # keep the newline: it separates surrounding tokens
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
 def normalize_sql(sql: str) -> str:
-    """Collapse runs of whitespace so trivially reformatted statements share
-    one plan-cache entry."""
-    return " ".join(sql.split())
+    """Collapse whitespace and strip ``--`` comments so trivially
+    reformatted or re-commented statements share one plan-cache entry."""
+    return " ".join(_strip_comments(sql).split())
 
 
 @dataclass(frozen=True)
@@ -168,11 +196,19 @@ def result_cache_key(
     every referenced table, plus the model-catalog version for statements
     that read ``R_Models`` or call a transform function (predictors load
     models by name; a redeploy under the same name must miss).
+
+    ``WITHIN`` queries additionally key on the AQP-catalog version and the
+    invalidation tokens of every sample stored on the referenced table: a
+    CREATE/DROP SAMPLE or a refresh fold changes which sample answers (or
+    whether the query falls back to exact), so a cached approximate result
+    must miss.  The base-table token stays in the key too, covering the
+    exact-fallback path.
     """
     statement = prepared.statement
     assert isinstance(statement, ast.Select)
     tokens: list[tuple[int, int, int]] = []
     models_version: int | None = None
+    aqp_version: int | None = None
     for name in _referenced_tables(statement):
         if name.lower() == R_MODELS_TABLE_NAME.lower():
             models_version = cluster.r_models.version()
@@ -180,7 +216,14 @@ def result_cache_key(
             tokens.append(cluster.catalog.get_table(name).invalidation_token())
     if statement.udtf is not None:
         models_version = cluster.r_models.version()
-    return (prepared.fingerprint, user, tuple(tokens), models_version)
+    if statement.within_error is not None and statement.table is not None:
+        aqp_version = cluster.aqp.version()
+        for record in cluster.aqp.samples_on(statement.table):
+            if cluster.catalog.has_table(record.name):
+                tokens.append(
+                    cluster.catalog.get_table(record.name).invalidation_token())
+    return (prepared.fingerprint, user, tuple(tokens), models_version,
+            aqp_version)
 
 
 def _result_nbytes(result: ResultSet) -> int:

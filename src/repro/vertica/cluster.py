@@ -15,6 +15,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.aqp.catalog import AqpCatalog
 from repro.errors import CatalogError, NodeDownError, SqlAnalysisError
 from repro.faults.plan import FaultPlan, InjectedFault
 from repro.obs.trace import Tracer, add_to_current, max_to_current
@@ -67,6 +68,7 @@ class VerticaCluster:
         self.catalog = Catalog()
         self.dfs = DistributedFileSystem(node_count, replication=dfs_replication)
         self.r_models = RModelsCatalog()
+        self.aqp = AqpCatalog()
         self.telemetry = Telemetry()
         self.tracer = Tracer()
         self.faults: FaultPlan | None = None

@@ -16,6 +16,7 @@ Executes the three plan shapes from :mod:`repro.vertica.planner`:
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Any, Callable, Iterator, Mapping
@@ -140,6 +141,22 @@ class QueryExecutor:
             result = refresh_model(self.cluster, stmt.name, user=user)
             status = f"REFRESH MODEL ({result.strategy})"
             return ResultSet(["status"], {"status": np.asarray([status], dtype=object)})
+        if isinstance(stmt, ast.CreateSample):
+            from repro.aqp import build_sample
+
+            record = build_sample(
+                self.cluster, stmt.name, stmt.table, stmt.rate,
+                strata_column=stmt.strata_column, seed=stmt.seed, user=user)
+            status = f"CREATE SAMPLE ({record.sample_rows} rows)"
+            return ResultSet(["status"], {"status": np.asarray([status], dtype=object)})
+        if isinstance(stmt, ast.DropSample):
+            from repro.aqp import drop_sample
+
+            if not (stmt.if_exists and not self.cluster.aqp.exists(stmt.name)):
+                drop_sample(self.cluster, stmt.name, user=user)
+            return ResultSet(["status"], {"status": np.asarray(["DROP SAMPLE"], dtype=object)})
+        if isinstance(stmt, ast.ShowSamples):
+            return self._execute_show_samples()
         if isinstance(stmt, ast.Explain):
             return self._execute_explain(stmt.query)
         if isinstance(stmt, ast.Profile):
@@ -260,6 +277,27 @@ class QueryExecutor:
         self.cluster.tuple_mover.notify()
         return ResultSet(["count"], {"count": np.asarray([inserted], dtype=np.int64)})
 
+    def _execute_show_samples(self) -> ResultSet:
+        """``SHOW SAMPLES``: one provenance row per registered sample."""
+        records = self.cluster.aqp.records()
+        columns = {
+            "sample": np.asarray([r.name for r in records], dtype=object),
+            "base_table": np.asarray(
+                [r.base_table for r in records], dtype=object),
+            "kind": np.asarray([r.kind for r in records], dtype=object),
+            "rate": np.asarray([r.rate for r in records], dtype=np.float64),
+            "strata_column": np.asarray(
+                [r.strata_column or "" for r in records], dtype=object),
+            "commit_epoch": np.asarray(
+                [r.commit_epoch for r in records], dtype=np.int64),
+            "base_rows": np.asarray(
+                [r.base_rows for r in records], dtype=np.int64),
+            "sample_rows": np.asarray(
+                [r.sample_rows for r in records], dtype=np.int64),
+            "owner": np.asarray([r.owner for r in records], dtype=object),
+        }
+        return ResultSet(list(columns), columns)
+
     # -- SELECT ---------------------------------------------------------------
 
     def _execute_select(self, stmt: ast.Select, user: str,
@@ -268,6 +306,8 @@ class QueryExecutor:
         # One snapshot per statement, resolved before any scan starts:
         # every node scan (eager or streaming) reads the same epoch.
         snapshot = self._statement_snapshot(stmt)
+        if stmt.within_error is not None:
+            return self._execute_within(stmt, user, snapshot, resolved)
         tracer = self.cluster.tracer
         if stmt.join is not None:
             with tracer.span("join", table=stmt.table or ""):
@@ -284,6 +324,38 @@ class QueryExecutor:
                 return self._execute_aggregate(plan, snapshot=snapshot)
         with tracer.span("scan", table=plan.table or ""):
             return self._execute_scan(plan, snapshot=snapshot)
+
+    def _execute_within(self, stmt: ast.Select, user: str,
+                        snapshot: "Snapshot | None",
+                        resolved: ResolvedQuery | None = None) -> ResultSet:
+        """``WITHIN n% ERROR``: answer from a sample or fall back to exact.
+
+        Both paths return the same four-column shape so callers (and the
+        serving result cache) see one stable schema; the exact fallback is
+        a degenerate CI of zero width with ``sample_fraction`` 1.0.
+        """
+        from repro.aqp import answer_within
+        from repro.aqp.rewrite import RESULT_COLUMNS
+
+        answer = answer_within(self.cluster, stmt, user, snapshot=snapshot)
+        if answer is not None:
+            return ResultSet(list(RESULT_COLUMNS), {
+                "estimate": np.asarray([answer.estimate], dtype=np.float64),
+                "ci_low": np.asarray([answer.ci_low], dtype=np.float64),
+                "ci_high": np.asarray([answer.ci_high], dtype=np.float64),
+                "sample_fraction": np.asarray(
+                    [answer.sample_fraction], dtype=np.float64),
+            })
+        exact = dataclasses.replace(stmt, within_error=None, confidence=None)
+        value = self._execute_select(exact, user, resolved).scalar()
+        point = float(value) if value is not None else float("nan")
+        arr = np.asarray([point], dtype=np.float64)
+        return ResultSet(list(RESULT_COLUMNS), {
+            "estimate": arr,
+            "ci_low": arr.copy(),
+            "ci_high": arr.copy(),
+            "sample_fraction": np.asarray([1.0], dtype=np.float64),
+        })
 
     def _statement_snapshot(self, stmt: ast.Select) -> "Snapshot | None":
         """Resolve the statement's read snapshot (``AT EPOCH`` or latest)."""

@@ -79,6 +79,7 @@ SA_CODES: dict[str, str] = {
     "SA107": "R_Models is read-only: INSERT / UPDATE / DELETE rejected",
     "SA108": "R_Models cannot participate in joins",
     "SA109": "REFRESH MODEL names a model that is not deployed",
+    "SA110": "DROP SAMPLE names a sample that is not registered",
     # -- SA2xx: type checking -------------------------------------------
     "SA201": "comparison / IN / LIKE over incomparable types",
     "SA202": "arithmetic or numeric function over a non-numeric operand",
@@ -91,6 +92,8 @@ SA_CODES: dict[str, str] = {
     "SA209": "INSERT value type does not match the column",
     "SA210": "unknown SQL type in CREATE TABLE",
     "SA211": "UPDATE assigns a value of an incompatible type",
+    "SA212": "CREATE SAMPLE rate outside (0, 1]",
+    "SA213": "WITHIN error bound or CONFIDENCE out of range",
     # -- SA3xx: scope checking ------------------------------------------
     "SA301": "ambiguous column reference (present on both join sides)",
     "SA302": "column must appear in GROUP BY or inside an aggregate",
@@ -103,6 +106,7 @@ SA_CODES: dict[str, str] = {
     "SA309": "SELECT * cannot be combined with aggregation",
     "SA310": "SELECT without FROM is not supported",
     "SA311": "AT EPOCH requires a FROM over a regular table",
+    "SA312": "WITHIN requires a single plain COUNT/SUM/AVG over one table",
     # -- SA4xx: warnings ------------------------------------------------
     "SA401": "join condition has no cross-table equality (cartesian-style)",
     "SA402": "predicate compares incompatible encodings (e.g. INTEGER vs fractional literal)",
@@ -113,7 +117,7 @@ WARNING_CODES = frozenset({"SA401", "SA402"})
 
 #: Resolution failures about *missing catalog objects*: raised as
 #: :class:`SemanticResolutionError` (a ``CatalogError``) for back-compat.
-_CATALOG_CODES = frozenset({"SA101", "SA104", "SA105", "SA109"})
+_CATALOG_CODES = frozenset({"SA101", "SA104", "SA105", "SA109", "SA110"})
 
 #: UDTF calling-convention failures historically raised at execution time:
 #: raised as :class:`SemanticParameterError` (an ``ExecutionError``).
@@ -222,6 +226,10 @@ class SchemaProvider(Protocol):
         """Whether a model is deployed, ``None`` when undeterminable."""
         ...
 
+    def sample_exists(self, name: str) -> bool | None:
+        """Whether an AQP sample is registered, ``None`` when undeterminable."""
+        ...
+
 
 class ClusterProvider:
     """Bind against a live cluster's catalog, R_Models, and UDTF registry."""
@@ -247,6 +255,9 @@ class ClusterProvider:
     def model_exists(self, name: str) -> bool | None:
         return self._cluster.r_models.exists(name)
 
+    def sample_exists(self, name: str) -> bool | None:
+        return self._cluster.aqp.exists(name)
+
 
 class LenientProvider:
     """Schema-less provider for lint mode: every name resolves, every
@@ -264,6 +275,9 @@ class LenientProvider:
         return None
 
     def model_exists(self, name: str) -> bool | None:
+        return None
+
+    def sample_exists(self, name: str) -> bool | None:
         return None
 
 
@@ -440,6 +454,11 @@ class _Analyzer:
             self._drop_table(stmt, resolved)
         elif isinstance(stmt, ast.RefreshModel):
             self._refresh_model(stmt, resolved)
+        elif isinstance(stmt, ast.CreateSample):
+            self._create_sample(stmt, resolved)
+        elif isinstance(stmt, ast.DropSample):
+            self._drop_sample(stmt)
+        # ShowSamples carries no names to resolve.
         return resolved
 
     # -- table binding -----------------------------------------------------
@@ -467,6 +486,9 @@ class _Analyzer:
             else:
                 self.emit("SA310", "SELECT without FROM is not supported", None)
             return
+
+        if stmt.within_error is not None:
+            self._check_within(stmt)
 
         left = self._bind_table(stmt.table, stmt.table_alias, stmt.table_position)
         right: BoundTable | None = None
@@ -800,6 +822,103 @@ class _Analyzer:
         if self.provider.model_exists(stmt.name) is False:
             self.emit("SA109", f"model {stmt.name!r} is not deployed",
                       stmt.name_position)
+
+    # -- AQP statements ----------------------------------------------------
+
+    def _create_sample(self, stmt: ast.CreateSample,
+                       resolved: ResolvedQuery) -> None:
+        bound = self._mutation_table(stmt.table, stmt.table_position,
+                                     "CREATE SAMPLE")
+        if bound is None:
+            return
+        resolved.tables = [bound]
+        resolved.column_types = dict(bound.columns)
+        if not 0.0 < stmt.rate <= 1.0:
+            self.emit(
+                "SA212",
+                f"sample rate must be in (0, 1]; got {stmt.rate!r} "
+                "(write RATE 1% or RATE 0.01)",
+                stmt.rate_position,
+            )
+        if stmt.strata_column is not None and not bound.open \
+                and stmt.strata_column not in bound.columns:
+            self.emit(
+                "SA102",
+                f"table {stmt.table!r} has no column {stmt.strata_column!r}",
+                stmt.strata_position,
+            )
+
+    def _drop_sample(self, stmt: ast.DropSample) -> None:
+        # Mirrors SA109: registration is an execution-time concern, skipped
+        # by EXPLAIN and by schema-less (None-returning) providers.
+        if stmt.if_exists or not self.execution:
+            return
+        if self._sample_exists(stmt.name) is False:
+            self.emit("SA110", f"sample {stmt.name!r} is not registered",
+                      stmt.name_position)
+
+    def _sample_exists(self, name: str) -> bool | None:
+        # Defensive probe: third-party providers written before samples
+        # existed satisfy the old Protocol and must keep working.
+        probe = getattr(self.provider, "sample_exists", None)
+        if probe is None:
+            return None
+        result: bool | None = probe(name)
+        return result
+
+    def _check_within(self, stmt: ast.Select) -> None:
+        """Shape and range checks for ``WITHIN n% ERROR [CONFIDENCE c]``.
+
+        The rewriter scales exactly one plain COUNT/SUM/AVG over a single
+        table; anything else cannot be estimated from a Bernoulli sample,
+        so the clause is rejected statically instead of silently running
+        exact forever.
+        """
+        assert stmt.within_error is not None
+        if not 0.0 < stmt.within_error <= 1.0:
+            self.emit(
+                "SA213",
+                f"WITHIN error bound must be in (0, 1]; got "
+                f"{stmt.within_error!r} (write WITHIN 2% ERROR)",
+                stmt.within_position,
+            )
+        if stmt.confidence is not None and not 0.0 < stmt.confidence < 1.0:
+            self.emit(
+                "SA213",
+                f"CONFIDENCE must be in (0, 1); got {stmt.confidence!r}",
+                stmt.within_position,
+            )
+        unsupported = []
+        if stmt.join is not None:
+            unsupported.append("joins")
+        if stmt.udtf is not None:
+            unsupported.append("UDTF calls")
+        if stmt.group_by:
+            unsupported.append("GROUP BY")
+        if stmt.having is not None:
+            unsupported.append("HAVING")
+        if stmt.distinct:
+            unsupported.append("DISTINCT")
+        if stmt.at_epoch is not None:
+            unsupported.append("AT EPOCH")
+        if unsupported:
+            self.emit(
+                "SA312",
+                "WITHIN cannot combine with " + " / ".join(unsupported),
+                stmt.within_position,
+            )
+            return
+        call = stmt.items[0].expr if len(stmt.items) == 1 else None
+        if isinstance(call, ast.AggregateCall) and \
+                call.name in ("COUNT", "SUM", "AVG") and not call.distinct:
+            return
+        self.emit(
+            "SA312",
+            "WITHIN requires exactly one plain COUNT / SUM / AVG "
+            "aggregate in the select list",
+            call.position if isinstance(call, ast.AggregateCall)
+            else stmt.within_position,
+        )
 
     # -- join condition ----------------------------------------------------
 

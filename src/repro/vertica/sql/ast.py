@@ -16,7 +16,7 @@ __all__ = [
     "PartitionSpec", "PartitionKind", "UdtfCall",
     "Statement", "Select", "JoinClause", "CreateTable", "ColumnDef", "SegmentationClause",
     "Insert", "Delete", "Update", "DropTable", "RefreshModel", "Explain",
-    "Profile",
+    "Profile", "CreateSample", "DropSample", "ShowSamples",
 ]
 
 
@@ -236,8 +236,14 @@ class Select(Statement):
     # ``AT EPOCH n SELECT ...``: read at historical epoch ``n`` instead of
     # the latest committed snapshot (None = latest).
     at_epoch: int | None = None
+    # ``WITHIN n% ERROR [CONFIDENCE c]``: answer approximately from a
+    # stored sample when the realized confidence interval meets the
+    # relative error bound (both stored as fractions; None = exact).
+    within_error: float | None = None
+    confidence: float | None = None
     # Source offset of the FROM table name (None when there is no FROM).
     table_position: int | None = field(default=None, compare=False, repr=False)
+    within_position: int | None = field(default=None, compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -313,6 +319,40 @@ class RefreshModel(Statement):
 
     name: str
     name_position: int | None = field(default=None, compare=False, repr=False)
+
+
+@dataclass
+class CreateSample(Statement):
+    """``CREATE SAMPLE s ON t UNIFORM RATE p% | STRATIFIED BY col [RATE p%]``.
+
+    Like MODEL, the SAMPLE/UNIFORM/RATE/STRATIFIED words stay unreserved;
+    the parser consumes them as identifiers.  ``rate`` is stored as a
+    fraction in (0, 1].
+    """
+
+    name: str
+    table: str
+    rate: float
+    strata_column: str | None = None
+    seed: int | None = None
+    name_position: int | None = field(default=None, compare=False, repr=False)
+    table_position: int | None = field(default=None, compare=False, repr=False)
+    rate_position: int | None = field(default=None, compare=False, repr=False)
+    strata_position: int | None = field(default=None, compare=False, repr=False)
+
+
+@dataclass
+class DropSample(Statement):
+    """``DROP SAMPLE [IF EXISTS] s``: catalog entry + backing table + DFS."""
+
+    name: str
+    if_exists: bool = False
+    name_position: int | None = field(default=None, compare=False, repr=False)
+
+
+@dataclass
+class ShowSamples(Statement):
+    """``SHOW SAMPLES``: one row of provenance per registered sample."""
 
 
 @dataclass

@@ -36,6 +36,12 @@ KEYWORDS = frozenset(
         "SEGMENTED", "UNSEGMENTED", "HASH", "ALL", "NODES",
         "USING", "PARAMETERS", "OVER", "PARTITION", "BEST",
         "COUNT", "SUM", "AVG", "MIN", "MAX",
+        # WITHIN must be reserved (an unreserved word after FROM <table>
+        # would parse as the table's alias); SHOW is reserved so statement
+        # dispatch can see it.  SAMPLE/SAMPLES/ERROR/CONFIDENCE/UNIFORM/
+        # RATE/STRATIFIED stay plain identifiers, matched by the parser
+        # the way MODEL and IF/EXISTS are.
+        "WITHIN", "SHOW",
     }
 )
 

@@ -3,15 +3,18 @@
 Supported statements::
 
     SELECT <items> FROM <table> [WHERE ...] [GROUP BY ...] [HAVING ...]
-        [ORDER BY ...] [LIMIT n]
+        [ORDER BY ...] [LIMIT n] [WITHIN n% ERROR [CONFIDENCE c]]
     SELECT udtf(args USING PARAMETERS k='v', ...)
         OVER (PARTITION BY col | PARTITION BEST | PARTITION NODES) FROM <table>
     CREATE TABLE t (col type, ...) [SEGMENTED BY HASH(col) ALL NODES | UNSEGMENTED]
+    CREATE SAMPLE s ON t (UNIFORM RATE p% | STRATIFIED BY col [RATE p%]) [SEED n]
     INSERT INTO t VALUES (...), (...)
     DELETE FROM t [WHERE ...]
     UPDATE t SET col = expr, ... [WHERE ...]
     AT EPOCH n | LATEST SELECT ...
     DROP TABLE [IF EXISTS] t
+    DROP SAMPLE [IF EXISTS] s
+    SHOW SAMPLES
     REFRESH MODEL m
 
 The grammar follows standard SQL precedence: OR < AND < NOT < comparison <
@@ -128,6 +131,8 @@ class _Parser:
         if self.check_keyword("SELECT"):
             return self.select()
         if self.check_keyword("CREATE"):
+            if self._next_is_word("SAMPLE"):
+                return self.create_sample()
             return self.create_table()
         if self.check_keyword("INSERT"):
             return self.insert()
@@ -136,7 +141,11 @@ class _Parser:
         if self.check_keyword("UPDATE"):
             return self.update()
         if self.check_keyword("DROP"):
+            if self._next_is_word("SAMPLE"):
+                return self.drop_sample()
             return self.drop_table()
+        if self.check_keyword("SHOW"):
+            return self.show_samples()
         if self.check_keyword("REFRESH"):
             return self.refresh_model()
         if self.accept_keyword("AT"):
@@ -223,7 +232,29 @@ class _Parser:
                 raise SqlSyntaxError("LIMIT requires a number", position=token.position)
             self.advance()
             stmt.limit = int(float(token.value))
+        if self.check_keyword("WITHIN"):
+            stmt.within_position = self.current.position
+            self.advance()
+            stmt.within_error = self._percent_number("WITHIN")
+            self._expect_word("ERROR")
+            if self._accept_word("CONFIDENCE"):
+                confidence = self._percent_number("CONFIDENCE")
+                # "CONFIDENCE 95" (no %) reads as a percentage too.
+                stmt.confidence = (
+                    confidence / 100.0 if confidence > 1.0 else confidence)
         return stmt
+
+    def _percent_number(self, clause: str) -> float:
+        """A numeric literal with an optional ``%`` (which divides by 100)."""
+        token = self.current
+        if token.type is not TokenType.NUMBER:
+            raise SqlSyntaxError(
+                f"{clause} requires a number", position=token.position)
+        self.advance()
+        value = float(token.value)
+        if self.accept_operator("%"):
+            value /= 100.0
+        return value
 
     def _join_clause(self) -> ast.JoinClause | None:
         kind = "inner"
@@ -440,6 +471,94 @@ class _Parser:
         name_position = self.current.position
         name = self.expect_ident("model name")
         return ast.RefreshModel(name, name_position=name_position)
+
+    # -- AQP statements ------------------------------------------------------
+    # SAMPLE/SAMPLES/UNIFORM/RATE/STRATIFIED/SEED stay unreserved words,
+    # consumed as identifiers the way MODEL and IF/EXISTS are.
+
+    def _next_is_word(self, word: str) -> bool:
+        """Whether the token *after* the current one is the identifier ``word``."""
+        nxt = self._tokens[min(self._pos + 1, len(self._tokens) - 1)]
+        return nxt.type is TokenType.IDENT and nxt.value.upper() == word
+
+    def _accept_word(self, word: str) -> bool:
+        token = self.current
+        if token.type is TokenType.IDENT and token.value.upper() == word:
+            self.advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise SqlSyntaxError(
+                f"expected {word}, found {self.current.value!r}",
+                position=self.current.position,
+            )
+
+    def create_sample(self) -> ast.CreateSample:
+        self.expect_keyword("CREATE")
+        self._expect_word("SAMPLE")
+        name_position = self.current.position
+        name = self.expect_ident("sample name")
+        self.expect_keyword("ON")
+        table_position = self.current.position
+        table = self.expect_ident("table name")
+        strata: str | None = None
+        strata_position: int | None = None
+        rate = 0.01  # STRATIFIED may omit RATE; default to 1%
+        rate_position: int | None = None
+        if self._accept_word("UNIFORM"):
+            rate_position = self.current.position
+            self._expect_word("RATE")
+            rate = self._percent_number("RATE")
+        elif self._accept_word("STRATIFIED"):
+            self.expect_keyword("BY")
+            strata_position = self.current.position
+            strata = self.expect_ident("stratification column")
+            if self.current.type is TokenType.IDENT and \
+                    self.current.value.upper() == "RATE":
+                rate_position = self.current.position
+                self.advance()
+                rate = self._percent_number("RATE")
+        else:
+            raise SqlSyntaxError(
+                "expected UNIFORM or STRATIFIED in CREATE SAMPLE",
+                position=self.current.position,
+            )
+        seed: int | None = None
+        if self._accept_word("SEED"):
+            token = self.current
+            if token.type is not TokenType.NUMBER:
+                raise SqlSyntaxError("SEED requires a number",
+                                     position=token.position)
+            self.advance()
+            seed = int(float(token.value))
+        return ast.CreateSample(
+            name, table, rate, strata, seed,
+            name_position=name_position, table_position=table_position,
+            rate_position=rate_position, strata_position=strata_position,
+        )
+
+    def drop_sample(self) -> ast.DropSample:
+        self.expect_keyword("DROP")
+        self._expect_word("SAMPLE")
+        if_exists = False
+        if self.current.type is TokenType.IDENT and \
+                self.current.value.upper() == "IF":
+            self.advance()
+            nxt = self.advance()
+            if nxt.value.upper() != "EXISTS":
+                raise SqlSyntaxError("expected EXISTS after IF",
+                                     position=nxt.position)
+            if_exists = True
+        name_position = self.current.position
+        name = self.expect_ident("sample name")
+        return ast.DropSample(name, if_exists, name_position=name_position)
+
+    def show_samples(self) -> ast.ShowSamples:
+        self.expect_keyword("SHOW")
+        self._expect_word("SAMPLES")
+        return ast.ShowSamples()
 
     # -- expressions (precedence climbing) -----------------------------------
 

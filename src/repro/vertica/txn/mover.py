@@ -93,14 +93,15 @@ class TupleMover:
             try:
                 moved = self.run_moveout(thresholds=True)
                 merged, _ = self.run_mergeout()
+                folded = self.run_sample_refresh()
             except ReproError:
                 # An injected crash killed this pass.  Segment moveout and
                 # mergeout are atomic (new storage is built off to the side
                 # and spliced in under the segment lock), so the pass can
                 # simply be re-run: the daemon survives and the next cycle
                 # picks up from the last completed splice.
-                moved = merged = 0
-            if moved or merged:
+                moved = merged = folded = 0
+            if moved or merged or folded:
                 idle = 0
             else:
                 idle += 1
@@ -230,3 +231,19 @@ class TupleMover:
                     "mergeout_bytes_rewritten", total_bytes)
                 self.mergeout_passes += 1
         return total_bytes, total_purged
+
+    # -- sample maintenance ------------------------------------------------
+
+    def run_sample_refresh(self) -> int:
+        """Fold committed base-table deltas into stored AQP samples.
+
+        Incremental-only (``allow_rebuild=False``): a sample whose window
+        contains deletes stays stale rather than having its backing table
+        dropped and rebuilt under concurrent readers; an explicit
+        ``refresh_sample`` call performs rebuilds.  Returns rows folded.
+        """
+        if not self.cluster.aqp.records():
+            return 0
+        from repro.aqp.refresh import auto_refresh_samples
+
+        return auto_refresh_samples(self.cluster)

@@ -804,8 +804,102 @@ def test_serving_manifest_missing_file_is_a_finding(tmp_path):
     checker = get_checker("serving-registry-drift")
     violations = list(checker.check_project(project))
     assert len(violations) == 1
-    assert "cannot extract the serving instruments manifest" \
-        in violations[0].message
+    assert "cannot extract the instruments manifest" in violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# aqp-registry-drift (RL906, project scope)
+# ---------------------------------------------------------------------------
+
+def _aqp_manifest_project(tmp_path: Path, manifest_body: str) -> ProjectContext:
+    """Fake tree: registries with one AQP-owned entry each, plus the AQP
+    instruments manifest under test."""
+    metrics = tmp_path / "src/repro/obs/metrics.py"
+    metrics.parent.mkdir(parents=True)
+    metrics.write_text(
+        textwrap.dedent(
+            """
+            def _spec(name, kind, unit, description, module):
+                return name
+
+            CATALOG = {
+                "rows.scanned": _spec(
+                    "rows.scanned", "counter", "1", "rows",
+                    "repro.vertica.engine"),
+                "samples_built": _spec(
+                    "samples_built", "counter", "1", "samples",
+                    "repro.aqp.build"),
+            }
+            """
+        ),
+        encoding="utf-8",
+    )
+
+    sites = tmp_path / "src/repro/faults/sites.py"
+    sites.parent.mkdir(parents=True)
+    sites.write_text(
+        'FAULT_SITES = {"dr.task": "task", "aqp.refresh": "refresh pass"}\n',
+        encoding="utf-8",
+    )
+
+    trace = tmp_path / "src/repro/obs/trace.py"
+    trace.write_text(
+        'SPAN_TAXONOMY = {"query": "one statement", '
+        '"aqp.rewrite": "sample estimation"}\n',
+        encoding="utf-8",
+    )
+
+    manifest = tmp_path / "src/repro/aqp/instruments.py"
+    manifest.parent.mkdir(parents=True)
+    manifest.write_text(textwrap.dedent(manifest_body), encoding="utf-8")
+
+    return ProjectContext(tmp_path, [metrics, sites, trace, manifest])
+
+
+COMPLETE_AQP_MANIFEST = """
+    AQP_METRICS = ("samples_built",)
+    AQP_SPANS = ("aqp.rewrite",)
+    AQP_FAULT_SITES = ("aqp.refresh",)
+"""
+
+
+def test_aqp_manifest_complete_passes(tmp_path):
+    project = _aqp_manifest_project(tmp_path, COMPLETE_AQP_MANIFEST)
+    checker = get_checker("aqp-registry-drift")
+    assert list(checker.check_project(project)) == []
+
+
+def test_aqp_manifest_catches_unregistered_names(tmp_path):
+    project = _aqp_manifest_project(
+        tmp_path,
+        """
+        AQP_METRICS = ("samples_built", "samples_bilt")
+        AQP_SPANS = ("aqp.rewrite",)
+        AQP_FAULT_SITES = ("aqp.refresh",)
+        """,
+    )
+    checker = get_checker("aqp-registry-drift")
+    violations = list(checker.check_project(project))
+    assert len(violations) == 1
+    assert violations[0].code == "RL906"
+    assert "samples_bilt" in violations[0].message
+    assert "does not exist" in violations[0].message
+
+
+def test_aqp_manifest_catches_unlisted_registry_entries(tmp_path):
+    project = _aqp_manifest_project(
+        tmp_path,
+        """
+        AQP_METRICS = ("samples_built",)
+        AQP_SPANS = ()
+        AQP_FAULT_SITES = ("aqp.refresh",)
+        """,
+    )
+    checker = get_checker("aqp-registry-drift")
+    violations = list(checker.check_project(project))
+    assert len(violations) == 1
+    assert "aqp.rewrite" in violations[0].message
+    assert "missing from AQP_SPANS" in violations[0].message
 
 
 def test_serving_manifest_missing_tuple_is_a_finding(tmp_path):

@@ -123,6 +123,30 @@ class TestPlanCache:
         assert cluster.telemetry.get("plan_cache_hits") == 2
         assert len(server.plan_cache) == 1
 
+    def test_comment_stripping_shares_one_plan_entry(self):
+        # ``--`` line comments are normalization noise: re-commented copies
+        # of the same statement must hit the same prepared plan.
+        cluster = make_cluster()
+        with make_server(cluster) as server, server.session() as session:
+            session.execute("SELECT SUM(a) FROM pts")
+            session.execute("SELECT SUM(a) -- total\nFROM pts")
+            session.execute("-- leading banner\nSELECT SUM(a)\nFROM pts"
+                            " -- trailing, no newline")
+        assert cluster.telemetry.get("plan_cache_misses") == 1
+        assert cluster.telemetry.get("plan_cache_hits") == 2
+        assert len(server.plan_cache) == 1
+
+    def test_comment_stripping_preserves_string_literals(self):
+        from repro.serving.cache import normalize_sql
+        # A ``--`` inside a quoted literal is data, not a comment.
+        sql = "SELECT COUNT(*) FROM t WHERE name = '-- keep me'"
+        assert normalize_sql(sql) == sql
+        # Doubled-quote escapes keep the scanner in string state.
+        assert normalize_sql("SELECT 'it''s -- data' -- gone\nFROM t") == \
+            "SELECT 'it''s -- data' FROM t"
+        # The comment's newline still separates the surrounding tokens.
+        assert normalize_sql("SELECT a--c\nFROM t") == "SELECT a FROM t"
+
     def test_ddl_change_invalidates_prepared_plans(self):
         cluster = make_cluster()
         with make_server(cluster) as server, server.session() as session:
@@ -304,6 +328,23 @@ class TestResultCache:
                 link="identity", intercept=True, iterations=1, deviance=0.0,
                 null_deviance=0.0, converged=True, n_observations=300), "m2")
             assert len(session.execute("SELECT model FROM R_Models")) == 2
+
+    def test_within_query_tracks_sample_lifecycle(self):
+        cluster = make_cluster(rows=2000)
+        sql = "SELECT COUNT(*) FROM pts WITHIN 50% ERROR"
+        with make_server(cluster) as server, server.session() as session:
+            session.execute("CREATE SAMPLE sp ON pts UNIFORM RATE 20%")
+            first = session.execute(sql)
+            assert first.column("sample_fraction")[0] < 1.0
+            session.execute(sql)
+            assert cluster.telemetry.get("result_cache_hits") == 1
+            session.execute("DROP SAMPLE sp")
+            fresh = session.execute(sql)
+            # The AQP-catalog version is in the key: the cached approximate
+            # answer missed, and the re-run fell back to exact.
+            assert cluster.telemetry.get("result_cache_hits") == 1
+            assert fresh.column("sample_fraction")[0] == 1.0
+            assert fresh.column("estimate")[0] == 2000.0
 
 
 # -- admission control ----------------------------------------------------

@@ -75,6 +75,7 @@ CORPUS: list[tuple[str, str, str | None]] = [
     ("INSERT INTO R_Models VALUES ('x')", "SA107", "R_Models"),
     ("SELECT * FROM t JOIN R_Models ON t.k = 1", "SA108", "R_Models"),
     ("REFRESH MODEL ghost", "SA109", "ghost"),
+    ("DROP SAMPLE ghost", "SA110", "ghost"),
     # -- SA2xx: type checking -------------------------------------------
     ("SELECT a FROM t WHERE name = 3", "SA201", "= 3"),
     ("SELECT a FROM t WHERE k IN (1, 'x')", "SA201", "IN"),
@@ -97,6 +98,8 @@ CORPUS: list[tuple[str, str, str | None]] = [
     ("INSERT INTO t VALUES (1, 2.0, 3.0, 4)", "SA209", "(1,"),
     ("CREATE TABLE bad (x FLOATY)", "SA210", "FLOATY"),
     ("UPDATE t SET name = 1 WHERE k = 0", "SA211", "1 WHERE"),
+    ("CREATE SAMPLE s ON t UNIFORM RATE 150%", "SA212", "RATE 150"),
+    ("SELECT AVG(a) FROM t WITHIN 200% ERROR", "SA213", "WITHIN"),
     # -- SA3xx: scope checking ------------------------------------------
     ("SELECT k FROM t JOIN u ON t.k = u.k", "SA301", "k FROM"),
     ("SELECT a, SUM(b) FROM t", "SA302", "a,"),
@@ -112,6 +115,7 @@ CORPUS: list[tuple[str, str, str | None]] = [
     ("SELECT * FROM t GROUP BY k", "SA309", None),
     ("SELECT 1", "SA310", None),
     ("AT EPOCH 1 SELECT * FROM R_Models", "SA311", None),
+    ("SELECT MIN(a) FROM t WITHIN 5% ERROR", "SA312", "MIN"),
     # -- SA4xx: warnings ------------------------------------------------
     ("SELECT t.a FROM t JOIN u ON t.k = 1", "SA401", "= 1"),
     ("SELECT a FROM t WHERE k = 1.5", "SA402", "= 1.5"),

@@ -31,6 +31,11 @@ registry module:
   under ``repro.serving`` modules, ``serve.*`` spans, ``serving.*`` fault
   sites) must be listed in the manifest.  The manifest is what keeps
   ``docs/serving.md``'s operations tables complete.
+* **RL906 (aqp-registry-drift)** — the same two-way manifest check for the
+  AQP subsystem (``AQP_METRICS`` / ``AQP_SPANS`` / ``AQP_FAULT_SITES`` in
+  ``src/repro/aqp/instruments.py`` against ``repro.aqp`` metrics,
+  ``aqp.*`` spans, and ``aqp.*`` fault sites), keeping ``docs/aqp.md``
+  complete.
 
 All are project-scope and apply to ``src/`` only: tests deliberately
 invent ad-hoc counters, sites, and spans to exercise the dynamic paths.
@@ -60,6 +65,10 @@ SERVING_MANIFEST = "src/repro/serving/instruments.py"
 SERVING_METRICS_PREFIX = "repro.serving"
 SERVING_SPAN_PREFIX = "serve."
 SERVING_SITE_PREFIX = "serving."
+AQP_MANIFEST = "src/repro/aqp/instruments.py"
+AQP_METRICS_PREFIX = "repro.aqp"
+AQP_SPAN_PREFIX = "aqp."
+AQP_SITE_PREFIX = "aqp."
 
 #: telemetry-facade methods whose first argument is a metric name.
 _TELEMETRY_METHODS = frozenset({"add", "observe_max", "gauge_add"})
@@ -403,6 +412,86 @@ def _sequence_assignment(tree: ast.Module, variable: str) -> ast.expr | None:
     return None
 
 
+def _check_instrument_manifest(
+    checker: Checker,
+    project: ProjectContext,
+    manifest_path: str,
+    variables: tuple[str, str, str],
+    metrics_prefix: str,
+    span_prefix: str,
+    site_prefix: str,
+    docs_file: str,
+) -> Iterator[Violation]:
+    """Two-way drift check between a subsystem's instruments manifest and
+    the central registries (shared by RL905 and RL906)."""
+    metric_modules = _spec_modules(project)
+    if metric_modules is None:
+        yield _registry_error(checker, METRICS_MODULE, "the metric CATALOG")
+        return
+    spans = _dict_literal_keys(project, TRACE_MODULE, "SPAN_TAXONOMY")
+    if spans is None:
+        yield _registry_error(checker, TRACE_MODULE, "SPAN_TAXONOMY")
+        return
+    sites = _dict_literal_keys(project, SITES_MODULE, "FAULT_SITES")
+    if sites is None:
+        yield _registry_error(checker, SITES_MODULE, "FAULT_SITES")
+        return
+    manifest_source = project.read(manifest_path)
+    if manifest_source is None:
+        yield _registry_error(
+            checker, manifest_path, "the instruments manifest")
+        return
+    manifest = FileContext(
+        project.root / manifest_path, manifest_path, manifest_source)
+    try:
+        manifest.tree
+    except SyntaxError:
+        yield _registry_error(
+            checker, manifest_path, "the instruments manifest")
+        return
+    owned_metrics = {
+        name for name, module in metric_modules.items()
+        if module.startswith(metrics_prefix)
+    }
+    metrics_var, spans_var, sites_var = variables
+    checks = [
+        (metrics_var, set(metric_modules), owned_metrics,
+         f"the CATALOG of {METRICS_MODULE}"),
+        (spans_var, spans,
+         {s for s in spans if s.startswith(span_prefix)},
+         f"the SPAN_TAXONOMY of {TRACE_MODULE}"),
+        (sites_var, sites,
+         {s for s in sites if s.startswith(site_prefix)},
+         f"FAULT_SITES of {SITES_MODULE}"),
+    ]
+    for variable, registry, owned, registry_desc in checks:
+        value = _sequence_assignment(manifest.tree, variable)
+        if value is None or not isinstance(value, (ast.Tuple, ast.List)):
+            yield _registry_error(
+                checker, manifest_path, f"the {variable} tuple")
+            continue
+        listed: set[str] = set()
+        for element in value.elts:
+            if not isinstance(element, ast.Constant) \
+                    or not isinstance(element.value, str):
+                continue
+            listed.add(element.value)
+            if element.value not in registry:
+                yield checker.violation(
+                    manifest, element,
+                    f"{variable} lists {element.value!r}, which does not "
+                    f"exist in {registry_desc}; register it (or fix the "
+                    "typo) so the subsystem surface stays documented",
+                )
+        for missing in sorted(owned - listed):
+            yield checker.violation(
+                manifest, value,
+                f"subsystem-owned name {missing!r} is declared in "
+                f"{registry_desc} but missing from {variable}; add it so "
+                f"{docs_file}'s operations tables stay complete",
+            )
+
+
 @register
 class ServingRegistryDriftChecker(Checker):
     rule = "serving-registry-drift"
@@ -415,68 +504,29 @@ class ServingRegistryDriftChecker(Checker):
     scope = "project"
 
     def check_project(self, project: ProjectContext) -> Iterable[Violation]:
-        metric_modules = _spec_modules(project)
-        if metric_modules is None:
-            yield _registry_error(self, METRICS_MODULE, "the metric CATALOG")
-            return
-        spans = _dict_literal_keys(project, TRACE_MODULE, "SPAN_TAXONOMY")
-        if spans is None:
-            yield _registry_error(self, TRACE_MODULE, "SPAN_TAXONOMY")
-            return
-        sites = _dict_literal_keys(project, SITES_MODULE, "FAULT_SITES")
-        if sites is None:
-            yield _registry_error(self, SITES_MODULE, "FAULT_SITES")
-            return
-        manifest_source = project.read(SERVING_MANIFEST)
-        if manifest_source is None:
-            yield _registry_error(
-                self, SERVING_MANIFEST, "the serving instruments manifest")
-            return
-        manifest = FileContext(
-            project.root / SERVING_MANIFEST, SERVING_MANIFEST, manifest_source)
-        try:
-            manifest.tree
-        except SyntaxError:
-            yield _registry_error(
-                self, SERVING_MANIFEST, "the serving instruments manifest")
-            return
-        serving_metrics = {
-            name for name, module in metric_modules.items()
-            if module.startswith(SERVING_METRICS_PREFIX)
-        }
-        checks = [
-            ("SERVING_METRICS", set(metric_modules), serving_metrics,
-             f"the CATALOG of {METRICS_MODULE}"),
-            ("SERVING_SPANS", spans,
-             {s for s in spans if s.startswith(SERVING_SPAN_PREFIX)},
-             f"the SPAN_TAXONOMY of {TRACE_MODULE}"),
-            ("SERVING_FAULT_SITES", sites,
-             {s for s in sites if s.startswith(SERVING_SITE_PREFIX)},
-             f"FAULT_SITES of {SITES_MODULE}"),
-        ]
-        for variable, registry, owned, registry_desc in checks:
-            value = _sequence_assignment(manifest.tree, variable)
-            if value is None or not isinstance(value, (ast.Tuple, ast.List)):
-                yield _registry_error(
-                    self, SERVING_MANIFEST, f"the {variable} tuple")
-                continue
-            listed: set[str] = set()
-            for element in value.elts:
-                if not isinstance(element, ast.Constant) \
-                        or not isinstance(element.value, str):
-                    continue
-                listed.add(element.value)
-                if element.value not in registry:
-                    yield self.violation(
-                        manifest, element,
-                        f"{variable} lists {element.value!r}, which does not "
-                        f"exist in {registry_desc}; register it (or fix the "
-                        "typo) so the serving surface stays documented",
-                    )
-            for missing in sorted(owned - listed):
-                yield self.violation(
-                    manifest, value,
-                    f"serving-owned name {missing!r} is declared in "
-                    f"{registry_desc} but missing from {variable}; add it so "
-                    "docs/serving.md's operations tables stay complete",
-                )
+        yield from _check_instrument_manifest(
+            self, project, SERVING_MANIFEST,
+            ("SERVING_METRICS", "SERVING_SPANS", "SERVING_FAULT_SITES"),
+            SERVING_METRICS_PREFIX, SERVING_SPAN_PREFIX, SERVING_SITE_PREFIX,
+            "docs/serving.md",
+        )
+
+
+@register
+class AqpRegistryDriftChecker(Checker):
+    rule = "aqp-registry-drift"
+    code = "RL906"
+    description = (
+        "the AQP manifest (src/repro/aqp/instruments.py) must list exactly "
+        "the AQP-owned metrics, spans, and fault sites that the central "
+        "registries declare"
+    )
+    scope = "project"
+
+    def check_project(self, project: ProjectContext) -> Iterable[Violation]:
+        yield from _check_instrument_manifest(
+            self, project, AQP_MANIFEST,
+            ("AQP_METRICS", "AQP_SPANS", "AQP_FAULT_SITES"),
+            AQP_METRICS_PREFIX, AQP_SPAN_PREFIX, AQP_SITE_PREFIX,
+            "docs/aqp.md",
+        )

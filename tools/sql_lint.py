@@ -45,7 +45,7 @@ RENDERINGS = ("ph", "1", "SELECT ph FROM ph")
 #: A literal is treated as SQL when it starts with one of these keywords.
 _SQL_START = re.compile(
     r"^\s*(SELECT|INSERT|UPDATE|DELETE|CREATE|DROP|REFRESH|EXPLAIN|PROFILE"
-    r"|AT\s+EPOCH)\b",
+    r"|SHOW|AT\s+EPOCH)\b",
     re.IGNORECASE,
 )
 
